@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: build test vet bench experiments examples clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The recorded artifacts: full test log and benchmark log.
+test_output.txt:
+	$(GO) test ./... 2>&1 | tee $@
+
+bench_output.txt:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee $@
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every table and figure of the paper (tens of minutes).
+experiments:
+	$(GO) run ./cmd/experiments -scale paper -out results_paper.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/policysweep
+	$(GO) run ./examples/oversubscription
+	$(GO) run ./examples/batchtrace
+	$(GO) run ./examples/runahead
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,72 @@
+// Command graphgen generates the synthetic input graphs the workloads run
+// on and prints their structural statistics, so the substitution for the
+// GraphBIG datasets (DESIGN.md §4) can be inspected: vertex/edge counts,
+// degree distribution, reachability from the BFS source, and footprint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uvmsim/internal/graph"
+)
+
+func main() {
+	vertices := flag.Int("vertices", 1<<17, "number of vertices")
+	degree := flag.Int("degree", 16, "average out-degree")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	kind := flag.String("kind", "rmat", "rmat or uniform")
+	weighted := flag.Bool("weighted", false, "random weights in [1,64]")
+	flag.Parse()
+
+	cfg := graph.GenConfig{
+		Vertices: *vertices,
+		EdgesPer: *degree,
+		Seed:     *seed,
+		Weighted: *weighted,
+	}
+	var g *graph.CSR
+	switch *kind {
+	case "rmat":
+		g = graph.RMAT(cfg)
+	case "uniform":
+		g = graph.Uniform(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := g.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "generated graph invalid:", err)
+		os.Exit(1)
+	}
+
+	hub, maxDeg := g.MaxDegree()
+	fmt.Printf("kind            %s (seed %d)\n", *kind, *seed)
+	fmt.Printf("vertices        %d\n", g.NumVertices())
+	fmt.Printf("edges           %d (avg degree %.2f)\n", g.NumEdges(),
+		float64(g.NumEdges())/float64(g.NumVertices()))
+	fmt.Printf("max degree      %d (vertex %d)\n", maxDeg, hub)
+
+	levels, frontiers := graph.BFSLevels(g, hub)
+	reached := 0
+	for _, l := range levels {
+		if l != graph.InfLevel {
+			reached++
+		}
+	}
+	fmt.Printf("BFS from hub    %d levels, %.1f%% reachable\n",
+		len(frontiers), 100*float64(reached)/float64(g.NumVertices()))
+
+	fmt.Println("degree histogram (bucket i: degree in [2^i-1, 2^(i+1)-1)):")
+	for i, c := range graph.DegreeHistogram(g) {
+		if c == 0 {
+			continue
+		}
+		fmt.Printf("  bucket %2d: %d vertices\n", i, c)
+	}
+
+	csrBytes := 4 * (g.NumVertices() + 1 + g.NumEdges())
+	fmt.Printf("CSR bytes       %d (%.2f MB, %d 64KB pages)\n",
+		csrBytes, float64(csrBytes)/(1<<20), (csrBytes+65535)/65536)
+}

@@ -1,0 +1,61 @@
+package uvmsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"uvmsim"
+)
+
+// Example demonstrates the minimal simulation loop: build a workload,
+// pick a policy, run, and read the headline statistics.
+func Example() {
+	params := uvmsim.DefaultWorkloadParams()
+	params.Vertices = 1 << 12 // tiny demo graph
+	w, err := uvmsim.BuildWorkload("PR", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := uvmsim.DefaultConfig()
+	cfg.Preload = true // no demand paging in this demo
+	res, err := uvmsim.Simulate(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.FaultsRaised)
+	// Output: 0
+}
+
+// ExampleSimulate_policies compares the paper's mechanisms on one
+// workload. (Compile-checked; not executed as a test because simulation
+// output depends on configuration.)
+func ExampleSimulate_policies() {
+	w, err := uvmsim.BuildWorkload("BFS-TTC", uvmsim.DefaultWorkloadParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, policy := range []uvmsim.Policy{uvmsim.Baseline, uvmsim.TOUE} {
+		cfg := uvmsim.DefaultConfig()
+		cfg.Policy = policy
+		res, err := uvmsim.Simulate(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v: %d cycles over %d batches\n", policy, res.Cycles, res.NumBatches())
+	}
+}
+
+// ExampleNewMachine shows component-level access for custom tooling: the
+// page table, GPU cluster, and UVM runtime are all reachable.
+func ExampleNewMachine() {
+	w, err := uvmsim.BuildWorkload("KCORE", uvmsim.DefaultWorkloadParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := uvmsim.NewMachine(uvmsim.DefaultConfig(), w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.RT.Allocator().Capacity() > 0)
+	// Output: true
+}

@@ -1,0 +1,78 @@
+// Batchtrace: dump the per-batch timeline of a run — the view the paper
+// builds with the NVIDIA Visual Profiler in Section 3 (batch start, GPU
+// runtime fault handling time, migration phase, batch size). Useful for
+// seeing the serialization the paper analyzes, batch by batch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"uvmsim"
+	"uvmsim/internal/metrics"
+)
+
+func main() {
+	params := uvmsim.DefaultWorkloadParams()
+	params.Vertices = 1 << 18
+	params.AvgDegree = 8
+	w, err := uvmsim.BuildWorkload("BFS-TWC", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := uvmsim.DefaultConfig()
+	res, err := uvmsim.Simulate(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d batches over %.2f ms of execution\n\n", res.NumBatches(),
+		float64(res.Cycles)/1e6)
+	fmt.Printf("%-5s  %-12s  %-14s  %-12s  %-7s  %-7s  %-6s\n",
+		"batch", "start (us)", "handling (us)", "total (us)", "faults", "pages", "evict")
+	for i, b := range res.Batches {
+		if i >= 25 {
+			fmt.Printf("... %d more batches\n", res.NumBatches()-i)
+			break
+		}
+		fmt.Printf("%-5d  %-12.1f  %-14.1f  %-12.1f  %-7d  %-7d  %-6d\n",
+			i,
+			float64(b.Start)/1000,
+			float64(b.FaultHandlingTime())/1000,
+			float64(b.ProcessingTime())/1000,
+			b.Faults, b.Pages, b.Evictions)
+	}
+
+	fmt.Println()
+	n := len(res.Batches)
+	if n > 20 {
+		n = 20
+	}
+	if err := metrics.RenderTimeline(os.Stdout, res.Batches[:n], 72); err != nil {
+		log.Fatal(err)
+	}
+
+	bytes, perPage := res.PerPageFaultTime()
+	if len(bytes) > 0 {
+		var minB, maxB uint64 = bytes[0], bytes[0]
+		var minT, maxT = perPage[0], perPage[0]
+		for i := range bytes {
+			if bytes[i] < minB {
+				minB = bytes[i]
+			}
+			if bytes[i] > maxB {
+				maxB = bytes[i]
+			}
+			if perPage[i] < minT {
+				minT = perPage[i]
+			}
+			if perPage[i] > maxT {
+				maxT = perPage[i]
+			}
+		}
+		fmt.Printf("\nbatch sizes %.2f-%.2f MB; per-page handling %.1f-%.1f us (Figure 3's axes)\n",
+			float64(minB)/(1<<20), float64(maxB)/(1<<20), minT/1000, maxT/1000)
+	}
+}

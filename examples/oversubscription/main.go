@@ -1,0 +1,53 @@
+// Oversubscription study: how performance degrades as GPU memory shrinks
+// relative to the workload footprint, and how much unobtrusive eviction
+// recovers at each point — the experiment motivating Figure 17 of the
+// paper, on a PageRank workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uvmsim"
+)
+
+func main() {
+	params := uvmsim.DefaultWorkloadParams()
+	params.Vertices = 1 << 18
+	params.AvgDegree = 8
+	params.PRIterations = 2
+	w, err := uvmsim.BuildWorkload("PR", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reference: everything fits (cold demand-paging faults only).
+	full := uvmsim.DefaultConfig()
+	full.UVM.OversubscriptionRatio = 1.0
+	ref, err := uvmsim.Simulate(full, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s  %-14s  %-12s  %-10s  %s\n",
+		"ratio", "relative time", "UE speedup", "evictions", "premature")
+
+	for _, ratio := range []float64{0.25, 0.5, 0.75, 1.0} {
+		cfg := uvmsim.DefaultConfig()
+		cfg.UVM.OversubscriptionRatio = ratio
+		base, err := uvmsim.Simulate(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Policy = uvmsim.UE
+		ue, err := uvmsim.Simulate(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.2f  %-14.2f  %-12.2f  %-10d  %.1f%%\n",
+			ratio,
+			float64(base.Cycles)/float64(ref.Cycles),
+			float64(base.Cycles)/float64(ue.Cycles),
+			base.Evictions,
+			base.PrematureEvictionRate()*100)
+	}
+}

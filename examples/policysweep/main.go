@@ -1,0 +1,44 @@
+// Policysweep: compare every memory-management policy on one workload —
+// a single-workload slice of the paper's Figure 11 — and show where each
+// one's time goes (batches, evictions, context switches).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uvmsim"
+)
+
+func main() {
+	params := uvmsim.DefaultWorkloadParams()
+	params.Vertices = 1 << 18
+	params.AvgDegree = 8
+	w, err := uvmsim.BuildWorkload("GC-TTC", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policies := []uvmsim.Policy{
+		uvmsim.Baseline, uvmsim.BaselineCompressed, uvmsim.TO,
+		uvmsim.UE, uvmsim.TOUE, uvmsim.ETC, uvmsim.IdealEviction,
+	}
+
+	var baseCycles uint64
+	fmt.Printf("%-15s  %-9s  %-8s  %-10s  %-9s  %-7s\n",
+		"policy", "speedup", "batches", "pages/bat", "evictions", "ctxsw")
+	for _, p := range policies {
+		cfg := uvmsim.DefaultConfig()
+		cfg.Policy = p
+		res, err := uvmsim.Simulate(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p == uvmsim.Baseline {
+			baseCycles = res.Cycles
+		}
+		fmt.Printf("%-15v  %-9.2f  %-8d  %-10.1f  %-9d  %-7d\n",
+			p, float64(baseCycles)/float64(res.Cycles), res.NumBatches(),
+			res.MeanBatchPages(), res.Evictions, res.ContextSwitches)
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: simulate one irregular workload under the baseline and under
+// the paper's combined mechanism (TO+UE), and print the headline
+// comparison. This is the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uvmsim"
+)
+
+func main() {
+	// Build a scaled-down BFS over a power-law (RMAT) graph.
+	params := uvmsim.DefaultWorkloadParams()
+	params.Vertices = 1 << 18
+	params.AvgDegree = 8
+	w, err := uvmsim.BuildWorkload("BFS-TTC", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d pages (%.1f MB)\n",
+		w.Name, w.FootprintPages(), float64(w.FootprintBytes())/(1<<20))
+
+	// The default configuration is the paper's Table 1: 16 SMs, 64KB
+	// pages, 20us fault handling, PCIe at 15.75 GB/s, and GPU memory
+	// sized to 50% of the footprint.
+	cfg := uvmsim.DefaultConfig()
+
+	base, err := uvmsim.Simulate(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Policy = uvmsim.TOUE
+	toue, err := uvmsim.Simulate(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("baseline: %d cycles, %d batches (avg %.1f pages), %d evictions\n",
+		base.Cycles, base.NumBatches(), base.MeanBatchPages(), base.Evictions)
+	fmt.Printf("TO+UE:    %d cycles, %d batches (avg %.1f pages), %d evictions\n",
+		toue.Cycles, toue.NumBatches(), toue.MeanBatchPages(), toue.Evictions)
+	fmt.Printf("speedup:  %.2fx\n", float64(base.Cycles)/float64(toue.Cycles))
+}

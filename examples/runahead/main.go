@@ -1,0 +1,56 @@
+// Runahead: compare the two ways Section 4.1 of the paper considers for
+// increasing the fault-batch size — runahead-style speculative fault
+// generation from stalled warps, versus thread oversubscription (the
+// paper's choice) — on one workload. The paper argues runahead is less
+// effective because thread blocks run short; this experiment lets you
+// check the trade-off in simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uvmsim"
+)
+
+func main() {
+	params := uvmsim.DefaultWorkloadParams()
+	params.Vertices = 1 << 18
+	params.AvgDegree = 8
+	w, err := uvmsim.BuildWorkload("BFS-TTC", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type variant struct {
+		name     string
+		policy   uvmsim.Policy
+		runahead int
+	}
+	variants := []variant{
+		{"baseline", uvmsim.Baseline, 0},
+		{"runahead-4", uvmsim.Baseline, 4},
+		{"runahead-16", uvmsim.Baseline, 16},
+		{"TO", uvmsim.TO, 0},
+		{"TO+runahead-4", uvmsim.TO, 4},
+	}
+
+	var baseCycles uint64
+	fmt.Printf("%-14s  %-9s  %-8s  %-10s  %-10s\n",
+		"variant", "speedup", "batches", "pages/bat", "spec-faults")
+	for _, v := range variants {
+		cfg := uvmsim.DefaultConfig()
+		cfg.Policy = v.policy
+		cfg.UVM.RunaheadDepth = v.runahead
+		res, err := uvmsim.Simulate(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.name == "baseline" {
+			baseCycles = res.Cycles
+		}
+		fmt.Printf("%-14s  %-9.2f  %-8d  %-10.1f  %-10d\n",
+			v.name, float64(baseCycles)/float64(res.Cycles),
+			res.NumBatches(), res.MeanBatchPages(), res.RunaheadFaults)
+	}
+}

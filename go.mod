@@ -1,0 +1,3 @@
+module uvmsim
+
+go 1.22

@@ -1,0 +1,111 @@
+// Package core implements the paper's primary contribution: the UVM
+// runtime. It models the NVIDIA-driver-style fault buffer and batch
+// processing pipeline (Section 2.2), the physical memory allocator with
+// aged-based LRU eviction, the tree-based page prefetcher, and the two
+// proposed mechanisms — thread oversubscription (Section 4.1) and
+// unobtrusive eviction (Section 4.2) — plus the ETC comparison framework.
+package core
+
+import "fmt"
+
+// node is an entry in the allocator's age list.
+type node struct {
+	page       uint64
+	allocAt    uint64
+	prev, next *node
+}
+
+// Allocator tracks physical frames in device memory with the aged-based
+// LRU policy the NVIDIA driver uses for root chunks: a page's age is its
+// allocation time (pages move to the tail when allocated, not when
+// accessed), and the eviction victim is the head of the list
+// (root_chunks.va_block_used in driver v396.37).
+type Allocator struct {
+	capacity int
+	index    map[uint64]*node
+	head     *node // sentinel; head.next is the oldest page
+	tail     *node // sentinel; tail.prev is the newest page
+}
+
+// NewAllocator returns an allocator with the given frame capacity.
+func NewAllocator(capacity int) *Allocator {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("core: allocator capacity %d", capacity))
+	}
+	h, t := &node{}, &node{}
+	h.next, t.prev = t, h
+	return &Allocator{capacity: capacity, index: make(map[uint64]*node), head: h, tail: t}
+}
+
+// Capacity returns the frame capacity.
+func (a *Allocator) Capacity() int { return a.capacity }
+
+// Len returns the number of allocated frames.
+func (a *Allocator) Len() int { return len(a.index) }
+
+// Full reports whether every frame is allocated.
+func (a *Allocator) Full() bool { return a.Len() >= a.capacity }
+
+// Has reports whether page occupies a frame.
+func (a *Allocator) Has(page uint64) bool {
+	_, ok := a.index[page]
+	return ok
+}
+
+// AllocTime returns the allocation cycle of a resident page.
+func (a *Allocator) AllocTime(page uint64) (uint64, bool) {
+	n, ok := a.index[page]
+	if !ok {
+		return 0, false
+	}
+	return n.allocAt, true
+}
+
+// Add allocates a frame for page at the given cycle, placing it at the
+// young end of the age list. Adding beyond capacity or double-adding
+// panics: the runtime must evict first.
+func (a *Allocator) Add(page uint64, now uint64) {
+	if a.Full() {
+		panic("core: allocator full")
+	}
+	if a.Has(page) {
+		panic(fmt.Sprintf("core: page %d already allocated", page))
+	}
+	n := &node{page: page, allocAt: now}
+	n.prev = a.tail.prev
+	n.next = a.tail
+	n.prev.next = n
+	a.tail.prev = n
+	a.index[page] = n
+}
+
+// Remove frees the frame of page.
+func (a *Allocator) Remove(page uint64) {
+	n, ok := a.index[page]
+	if !ok {
+		panic(fmt.Sprintf("core: removing non-resident page %d", page))
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	delete(a.index, page)
+}
+
+// PopVictim removes and returns the oldest-allocated page. ok is false
+// when nothing is allocated.
+func (a *Allocator) PopVictim() (page uint64, ok bool) {
+	n := a.head.next
+	if n == a.tail {
+		return 0, false
+	}
+	a.Remove(n.page)
+	return n.page, true
+}
+
+// PeekVictim returns the oldest-allocated page without removing it.
+func (a *Allocator) PeekVictim() (page uint64, ok bool) {
+	n := a.head.next
+	if n == a.tail {
+		return 0, false
+	}
+	return n.page, true
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatorAddRemove(t *testing.T) {
+	a := NewAllocator(4)
+	a.Add(10, 100)
+	if !a.Has(10) || a.Len() != 1 {
+		t.Fatal("Add did not register page")
+	}
+	if at, ok := a.AllocTime(10); !ok || at != 100 {
+		t.Fatalf("AllocTime = %d, %v", at, ok)
+	}
+	a.Remove(10)
+	if a.Has(10) || a.Len() != 0 {
+		t.Fatal("Remove did not free page")
+	}
+}
+
+func TestAllocatorAgedLRUOrder(t *testing.T) {
+	a := NewAllocator(4)
+	a.Add(1, 10)
+	a.Add(2, 20)
+	a.Add(3, 30)
+	// Aged-based LRU: victims come out in allocation order regardless of
+	// later accesses.
+	for _, want := range []uint64{1, 2, 3} {
+		got, ok := a.PopVictim()
+		if !ok || got != want {
+			t.Fatalf("PopVictim = %d, want %d", got, want)
+		}
+	}
+	if _, ok := a.PopVictim(); ok {
+		t.Fatal("PopVictim on empty allocator succeeded")
+	}
+}
+
+func TestAllocatorVictimSkipsRemoved(t *testing.T) {
+	a := NewAllocator(4)
+	a.Add(1, 1)
+	a.Add(2, 2)
+	a.Add(3, 3)
+	a.Remove(1)
+	a.Remove(2)
+	got, ok := a.PopVictim()
+	if !ok || got != 3 {
+		t.Fatalf("PopVictim = %d (%v), want 3", got, ok)
+	}
+}
+
+func TestAllocatorFullPanics(t *testing.T) {
+	a := NewAllocator(1)
+	a.Add(1, 0)
+	if !a.Full() {
+		t.Fatal("allocator not full at capacity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add beyond capacity did not panic")
+		}
+	}()
+	a.Add(2, 0)
+}
+
+func TestAllocatorDoubleAddPanics(t *testing.T) {
+	a := NewAllocator(2)
+	a.Add(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Add did not panic")
+		}
+	}()
+	a.Add(1, 1)
+}
+
+func TestAllocatorRemoveAbsentPanics(t *testing.T) {
+	a := NewAllocator(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove of absent page did not panic")
+		}
+	}()
+	a.Remove(9)
+}
+
+func TestAllocatorPeekDoesNotRemove(t *testing.T) {
+	a := NewAllocator(2)
+	a.Add(5, 1)
+	p, ok := a.PeekVictim()
+	if !ok || p != 5 {
+		t.Fatalf("PeekVictim = %d (%v)", p, ok)
+	}
+	if !a.Has(5) {
+		t.Fatal("Peek removed the page")
+	}
+}
+
+func TestAllocatorChurnProperty(t *testing.T) {
+	// Property: after any interleaving of adds and victim pops, Len is
+	// consistent and victims always come out in allocation order.
+	f := func(ops []bool) bool {
+		a := NewAllocator(64)
+		next := uint64(0)
+		var inOrder []uint64
+		for _, add := range ops {
+			if add && !a.Full() {
+				a.Add(next, next)
+				inOrder = append(inOrder, next)
+				next++
+			} else if !add {
+				v, ok := a.PopVictim()
+				if len(inOrder) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != inOrder[0] {
+					return false
+				}
+				inOrder = inOrder[1:]
+			}
+		}
+		return a.Len() == len(inOrder)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

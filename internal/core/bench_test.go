@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"uvmsim/internal/config"
+)
+
+func BenchmarkAllocatorChurn(b *testing.B) {
+	a := NewAllocator(1024)
+	for i := 0; i < 1024; i++ {
+		a.Add(uint64(i), uint64(i))
+	}
+	next := uint64(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.PopVictim()
+		a.Add(next, next)
+		next++
+	}
+}
+
+func BenchmarkPrefetchPlan(b *testing.B) {
+	p := NewPrefetcher(32, 0.5)
+	faulted := []uint64{0, 3, 7, 40, 41, 100, 130, 131, 132}
+	resident := map[uint64]bool{1: true, 2: true, 42: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Plan(faulted,
+			func(pg uint64) bool { return resident[pg] },
+			func(pg uint64) bool { return pg < 200 })
+	}
+}
+
+func BenchmarkEndToEndBaseline(b *testing.B) {
+	// A full demand-paging simulation at test scale: the simulator's
+	// overall events-per-second figure of merit.
+	w := scanWorkload(64, 8, 256, 6)
+	cfg := testConfig(config.Baseline)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndTOUE(b *testing.B) {
+	w := scanWorkload(64, 8, 256, 6)
+	cfg := testConfig(config.TOUE)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

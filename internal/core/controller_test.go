@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/metrics"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/vm"
+)
+
+// bareRuntime builds a runtime without a cluster for white-box tests.
+func bareRuntime(policy config.Policy, capacity int) (*Runtime, *sim.Engine, *config.Config) {
+	eng := sim.NewEngine()
+	cfg := config.Default()
+	cfg.Policy = policy
+	stats := &metrics.Stats{}
+	pt := vm.NewPageTable()
+	rt := NewRuntime(eng, &cfg, stats, pt, capacity, func(uint64) bool { return true })
+	return rt, eng, &cfg
+}
+
+func TestControllerDecrementsOnLifetimeDrop(t *testing.T) {
+	rt, _, _ := bareRuntime(config.TO, 100)
+	if rt.OversubDegree() != 1 {
+		t.Fatalf("initial degree = %d, want 1", rt.OversubDegree())
+	}
+	// Window 1: healthy lifetimes.
+	rt.winSum, rt.winCount = 1_000_000, 10
+	rt.controllerStep()
+	// Window 2: lifetimes collapse by far more than the 20% threshold.
+	rt.winSum, rt.winCount = 100_000, 10
+	rt.controllerStep()
+	if rt.OversubDegree() != 0 {
+		t.Fatalf("degree after collapse = %d, want 0", rt.OversubDegree())
+	}
+	// Degree never goes negative.
+	rt.winSum, rt.winCount = 10_000, 10
+	rt.controllerStep()
+	if rt.OversubDegree() != 0 {
+		t.Fatalf("degree went negative: %d", rt.OversubDegree())
+	}
+}
+
+func TestControllerIncrementsOnLifetimeGrowth(t *testing.T) {
+	rt, _, cfg := bareRuntime(config.TO, 100)
+	rt.winSum, rt.winCount = 1_000_000, 10
+	rt.controllerStep()
+	// Lifetimes improve well past the threshold: headroom, grow.
+	rt.winSum, rt.winCount = 2_000_000, 10
+	rt.controllerStep()
+	if rt.OversubDegree() != 2 {
+		t.Fatalf("degree after growth = %d, want 2", rt.OversubDegree())
+	}
+	// Bounded by MaxOversubBlocks.
+	for i := 0; i < 10; i++ {
+		rt.winSum, rt.winCount = uint64(4_000_000*(i+1)), 10
+		rt.controllerStep()
+	}
+	if rt.OversubDegree() > cfg.UVM.MaxOversubBlocks {
+		t.Fatalf("degree %d exceeds max %d", rt.OversubDegree(), cfg.UVM.MaxOversubBlocks)
+	}
+}
+
+func TestControllerHoldsInBand(t *testing.T) {
+	rt, _, _ := bareRuntime(config.TO, 100)
+	rt.winSum, rt.winCount = 1_000_000, 10
+	rt.controllerStep()
+	// Small fluctuation inside the ±20% band: hold the degree.
+	rt.winSum, rt.winCount = 950_000, 10
+	rt.controllerStep()
+	if rt.OversubDegree() != 1 {
+		t.Fatalf("degree changed inside hold band: %d", rt.OversubDegree())
+	}
+}
+
+func TestControllerSkipsEmptyWindows(t *testing.T) {
+	rt, _, _ := bareRuntime(config.TO, 100)
+	rt.winSum, rt.winCount = 1_000_000, 10
+	rt.controllerStep()
+	// No evictions in this window: nothing to conclude.
+	rt.controllerStep()
+	if rt.OversubDegree() != 1 {
+		t.Fatalf("empty window changed degree to %d", rt.OversubDegree())
+	}
+}
+
+func TestPreemptiveEvictOnlyAtCapacity(t *testing.T) {
+	rt, eng, _ := bareRuntime(config.UE, 4)
+	rt.alloc.Add(1, 0)
+	rt.alloc.Add(2, 0)
+	// Not at capacity: the top-half ISR does nothing.
+	if n := rt.preemptiveEvict(eng.Now(), 5); n != 0 {
+		t.Fatalf("preemptive evictions below capacity = %d", n)
+	}
+	rt.alloc.Add(3, 0)
+	rt.alloc.Add(4, 0)
+	rt.pt.Map(1)
+	if n := rt.preemptiveEvict(eng.Now(), 5); n != 1 {
+		t.Fatalf("preemptive evictions at capacity = %d, want 1", n)
+	}
+	// The LRU head (page 1) was chosen and its frame time queued.
+	if rt.alloc.Has(1) {
+		t.Fatal("victim still allocated")
+	}
+	if len(rt.preFreed) != 1 {
+		t.Fatalf("preFreed = %v", rt.preFreed)
+	}
+	// The unmap lands when the eviction transfer completes.
+	eng.Run()
+	if rt.pt.Resident(1) {
+		t.Fatal("victim still resident after eviction completed")
+	}
+}
+
+func TestPreemptiveEvictBoundedByFaults(t *testing.T) {
+	rt, eng, cfg := bareRuntime(config.UE, 2)
+	cfg.UVM.PreemptiveEvictions = 8
+	rt.alloc.Add(1, 0)
+	rt.alloc.Add(2, 0)
+	// Only one fault in the batch: at most one preemptive eviction even
+	// though the configured depth is larger.
+	if n := rt.preemptiveEvict(eng.Now(), 1); n != 1 {
+		t.Fatalf("preemptive evictions = %d, want 1 (bounded by faults)", n)
+	}
+}
+
+func TestRaiseFaultCountsPrematureOnce(t *testing.T) {
+	rt, _, _ := bareRuntime(config.Baseline, 8)
+	rt.evicted[7] = true
+	rt.RaiseFault(7)
+	if rt.stats.PrematureEv != 1 {
+		t.Fatalf("premature count = %d, want 1", rt.stats.PrematureEv)
+	}
+	// A second fault on the same still-pending page is deduplicated and
+	// must not double-count.
+	rt.RaiseFault(7)
+	if rt.stats.PrematureEv != 1 {
+		t.Fatalf("premature double-counted: %d", rt.stats.PrematureEv)
+	}
+}
+
+func TestStopHaltsControllerRescheduling(t *testing.T) {
+	rt, eng, cfg := bareRuntime(config.TO, 100)
+	rt.StartController()
+	rt.Stop()
+	// The one scheduled tick fires, sees stopped, and does not reschedule.
+	eng.Run()
+	if eng.Pending() != 0 {
+		t.Fatalf("%d events still pending after Stop", eng.Pending())
+	}
+	_ = cfg
+}
+
+func TestFaultBufferOverflowSplitsBatches(t *testing.T) {
+	// More pending faults than fault-buffer entries must be handled in
+	// two drains: the first batch takes exactly the buffer capacity, the
+	// remainder rolls into the immediately-following batch.
+	rt, eng, cfg := bareRuntime(config.Baseline, 4096)
+	cfg.UVM.Prefetch = false
+	rt.pref = nil
+	total := cfg.UVM.FaultBufferEntries + 300
+	for i := 0; i < total; i++ {
+		rt.RaiseFault(uint64(i))
+	}
+	if rt.PendingFaults() != total {
+		t.Fatalf("pending = %d, want %d", rt.PendingFaults(), total)
+	}
+	eng.Run()
+	if n := rt.stats.NumBatches(); n != 2 {
+		t.Fatalf("batches = %d, want 2", n)
+	}
+	if f := rt.stats.Batches[0].Faults; f != cfg.UVM.FaultBufferEntries {
+		t.Fatalf("first batch faults = %d, want %d", f, cfg.UVM.FaultBufferEntries)
+	}
+	if f := rt.stats.Batches[1].Faults; f != 300 {
+		t.Fatalf("second batch faults = %d, want 300", f)
+	}
+	// Back-to-back: the second batch starts the cycle the first ends.
+	if rt.stats.Batches[1].Start != rt.stats.Batches[0].End {
+		t.Fatalf("second batch at %d, first ended %d",
+			rt.stats.Batches[1].Start, rt.stats.Batches[0].End)
+	}
+}
+
+func TestBatchSortsFaultsAscending(t *testing.T) {
+	rt, eng, cfg := bareRuntime(config.Baseline, 64)
+	cfg.UVM.Prefetch = false
+	rt.pref = nil
+	for _, pg := range []uint64{9, 3, 27, 1} {
+		rt.RaiseFault(pg)
+	}
+	// Track arrival order of migrations: ascending page order is the
+	// preprocessing contract (accelerates CPU page-table walks).
+	var order []uint64
+	done := map[uint64]bool{}
+	for eng.Step() {
+		for _, pg := range []uint64{1, 3, 9, 27} {
+			if rt.pt.Resident(pg) && !done[pg] {
+				done[pg] = true
+				order = append(order, pg)
+			}
+		}
+	}
+	want := []uint64{1, 3, 9, 27}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("migration order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/gpu"
+	"uvmsim/internal/metrics"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/trace"
+	"uvmsim/internal/vm"
+)
+
+// Machine assembles the full simulated system — GPU cluster, translation
+// hardware, and UVM runtime — and runs a workload's kernels to completion.
+type Machine struct {
+	Eng     *sim.Engine
+	Cfg     config.Config
+	Stats   *metrics.Stats
+	PT      *vm.PageTable
+	Cluster *gpu.Cluster
+	RT      *Runtime
+
+	workload  *trace.Workload
+	etc       *etcController
+	finished  bool
+	kernelIdx int
+}
+
+// defaultMaxCycles guards against runaway simulations when the config
+// sets no explicit limit.
+const defaultMaxCycles = 2_000_000_000
+
+// ErrCycleLimit marks a run aborted at its cycle limit. Run returns it
+// wrapped, together with the statistics accumulated so far, so sweeps into
+// pathological thrashing regimes (deep oversubscription) can report a
+// lower bound instead of failing.
+var ErrCycleLimit = errors.New("cycle limit exceeded")
+
+// NewMachine builds a machine for cfg and workload w. The configuration is
+// copied; callers may reuse theirs.
+func NewMachine(cfg config.Config, w *trace.Workload) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w.Kernels) == 0 {
+		return nil, fmt.Errorf("core: workload %q has no kernels", w.Name)
+	}
+	m := &Machine{
+		Eng:      sim.NewEngine(),
+		Cfg:      cfg,
+		Stats:    &metrics.Stats{},
+		PT:       vm.NewPageTable(),
+		workload: w,
+	}
+	footprint := w.FootprintPages()
+	capacity := cfg.CapacityPages(footprint)
+	if cfg.Preload {
+		capacity = footprint
+	}
+	if cfg.Policy == config.ETC {
+		// Capacity compression buys effective frames at a decompression
+		// latency cost on DRAM accesses.
+		capacity = int(float64(capacity) * cfg.UVM.ETCCapacityFactor)
+		if capacity > footprint {
+			capacity = footprint
+		}
+	}
+	pageBytes := cfg.UVM.PageBytes
+	inSpace := func(page uint64) bool { return w.Space.Contains(page * pageBytes) }
+	m.RT = NewRuntime(m.Eng, &m.Cfg, m.Stats, m.PT, capacity, inSpace)
+	m.Cluster = gpu.New(m.Eng, &m.Cfg, m.Stats, m.PT, m.RT)
+	m.RT.AttachCluster(m.Cluster)
+	if cfg.TraditionalSwitch {
+		m.Cluster.SetTraditionalSwitching(true)
+		m.Cluster.SetOversubscription(1)
+	}
+	if cfg.Policy == config.ETC {
+		m.Cluster.SetExtraMemCycles(cfg.UVM.ETCDecompressCycles)
+		m.etc = newETCController(m.Eng, &m.Cfg, m.Stats, m.Cluster, m.RT)
+	}
+	if cfg.Preload {
+		m.preloadAll()
+	}
+	return m, nil
+}
+
+// preloadAll maps the workload's whole footprint (the traditional
+// copy-then-launch model with no demand paging).
+func (m *Machine) preloadAll() {
+	pageBytes := m.Cfg.UVM.PageBytes
+	for _, arr := range m.workload.Space.Arrays() {
+		first := arr.Base / pageBytes
+		last := (arr.End() - 1) / pageBytes
+		for p := first; p <= last; p++ {
+			if !m.PT.Resident(p) {
+				m.PT.Map(p)
+				m.RT.Allocator().Add(p, 0)
+			}
+		}
+	}
+}
+
+// Run executes every kernel in order and returns the collected statistics.
+// It fails if the simulation deadlocks or exceeds the cycle limit.
+func (m *Machine) Run() (*metrics.Stats, error) {
+	m.RT.StartController()
+	if m.etc != nil {
+		m.etc.start()
+	}
+	m.launchNext()
+	limit := m.Cfg.MaxCycles
+	if limit == 0 {
+		limit = defaultMaxCycles
+	}
+	drained := m.Eng.RunUntil(limit)
+	if !m.finished {
+		if drained {
+			return nil, fmt.Errorf("core: %s deadlocked at cycle %d: %d warps waiting, %d faults pending, batch active=%v",
+				m.workload.Name, m.Eng.Now(), m.Cluster.WaitingWarps(), m.RT.PendingFaults(), m.RT.BatchActive())
+		}
+		m.Stats.Cycles = limit
+		return m.Stats, fmt.Errorf("core: %s exceeded %d cycles: %w", m.workload.Name, limit, ErrCycleLimit)
+	}
+	// Drain trailing events (in-flight evictions, controller shutdown).
+	m.Eng.RunUntil(limit)
+	return m.Stats, nil
+}
+
+func (m *Machine) launchNext() {
+	if m.kernelIdx >= len(m.workload.Kernels) {
+		m.finished = true
+		m.Stats.Cycles = m.Eng.Now()
+		m.RT.Stop()
+		if m.etc != nil {
+			m.etc.stop()
+		}
+		return
+	}
+	k := &m.workload.Kernels[m.kernelIdx]
+	m.kernelIdx++
+	m.Cluster.Launch(k, m.launchNext)
+}
+
+// Run is the package-level convenience: build a machine and run it.
+func Run(cfg config.Config, w *trace.Workload) (*metrics.Stats, error) {
+	m, err := NewMachine(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}

@@ -1,0 +1,110 @@
+package core
+
+import "sort"
+
+// Prefetcher implements the tree-based density prefetcher used as the
+// state-of-the-art baseline (Zheng et al. HPCA'16 / the Pascal driver's
+// prefetcher). Managed memory is viewed in aligned blocks of BlockPages
+// pages (2MB blocks of 64KB pages by default). Within a block, the
+// prefetcher walks a binary tree of aligned page groups from small to
+// large; whenever at least Threshold of a group is (or is becoming)
+// resident, it schedules the rest of the group for migration.
+type Prefetcher struct {
+	BlockPages int
+	Threshold  float64
+}
+
+// NewPrefetcher returns a prefetcher over blocks of blockPages pages with
+// the given density threshold.
+func NewPrefetcher(blockPages int, threshold float64) *Prefetcher {
+	if blockPages <= 0 || threshold < 0 || threshold > 1 {
+		panic("core: bad prefetcher parameters")
+	}
+	return &Prefetcher{BlockPages: blockPages, Threshold: threshold}
+}
+
+// Plan returns the pages to prefetch for a batch. faulted holds the
+// batch's faulted pages; isResident reports device residency; inSpace
+// reports whether a page belongs to the managed allocation (prefetching
+// never crosses allocation boundaries). The result is sorted, deduplicated,
+// and disjoint from both the faulted set and the resident set.
+func (p *Prefetcher) Plan(faulted []uint64, isResident, inSpace func(page uint64) bool) []uint64 {
+	if len(faulted) == 0 {
+		return nil
+	}
+	bp := uint64(p.BlockPages)
+
+	// Group faulted pages by block.
+	blocks := make(map[uint64][]uint64)
+	for _, pg := range faulted {
+		blocks[pg/bp] = append(blocks[pg/bp], pg)
+	}
+
+	var out []uint64
+	for blockID, pages := range blocks {
+		base := blockID * bp
+		// present marks pages that are or will be resident: already
+		// resident, faulted in this batch, or chosen for prefetch.
+		present := make([]bool, p.BlockPages)
+		valid := make([]bool, p.BlockPages)
+		nValid := 0
+		for i := 0; i < p.BlockPages; i++ {
+			pg := base + uint64(i)
+			if !inSpace(pg) {
+				continue
+			}
+			valid[i] = true
+			nValid++
+			if isResident(pg) {
+				present[i] = true
+			}
+		}
+		if nValid == 0 {
+			continue
+		}
+		for _, pg := range pages {
+			present[pg-base] = true
+		}
+		// Walk group sizes 2, 4, 8, ... up to the block, filling any
+		// group whose density reaches the threshold.
+		for size := 2; size <= p.BlockPages; size *= 2 {
+			for lo := 0; lo < p.BlockPages; lo += size {
+				hi := lo + size
+				have, total := 0, 0
+				for i := lo; i < hi; i++ {
+					if !valid[i] {
+						continue
+					}
+					total++
+					if present[i] {
+						have++
+					}
+				}
+				if total == 0 || have == 0 {
+					continue
+				}
+				if float64(have) >= p.Threshold*float64(total) {
+					for i := lo; i < hi; i++ {
+						if valid[i] {
+							present[i] = true
+						}
+					}
+				}
+			}
+		}
+		// Emit everything newly present that is neither resident nor in
+		// the faulted set.
+		faultedSet := make(map[uint64]bool, len(pages))
+		for _, pg := range pages {
+			faultedSet[pg] = true
+		}
+		for i := 0; i < p.BlockPages; i++ {
+			pg := base + uint64(i)
+			if present[i] && valid[i] && !isResident(pg) && !faultedSet[pg] {
+				out = append(out, pg)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,94 @@
+package core
+
+import "testing"
+
+func planWith(t *testing.T, p *Prefetcher, faulted []uint64, resident map[uint64]bool, spaceLimit uint64) []uint64 {
+	t.Helper()
+	return p.Plan(faulted,
+		func(pg uint64) bool { return resident[pg] },
+		func(pg uint64) bool { return pg < spaceLimit },
+	)
+}
+
+func TestPrefetchPairsUp(t *testing.T) {
+	p := NewPrefetcher(32, 0.5)
+	// One fault in a 2-page-aligned group: density 1/2 >= 0.5 -> fetch
+	// the buddy; then the 4-group has 2/4 -> fetch the other two, and so
+	// on up to the whole 32-page block.
+	got := planWith(t, p, []uint64{0}, nil, 1000)
+	if len(got) != 31 {
+		t.Fatalf("prefetched %d pages, want 31 (rest of the block)", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, pg := range got {
+		seen[pg] = true
+	}
+	if seen[0] {
+		t.Fatal("prefetch list contains the faulted page")
+	}
+	for pg := uint64(1); pg < 32; pg++ {
+		if !seen[pg] {
+			t.Fatalf("page %d missing from full-block prefetch", pg)
+		}
+	}
+}
+
+func TestPrefetchThresholdOneIsConservative(t *testing.T) {
+	p := NewPrefetcher(32, 1.0)
+	// With threshold 1.0 a half-full group never triggers: the 2-group
+	// {0,1} has density 1/2 < 1, so nothing is fetched.
+	got := planWith(t, p, []uint64{0}, nil, 1000)
+	if len(got) != 0 {
+		t.Fatalf("threshold-1.0 prefetched %v", got)
+	}
+}
+
+func TestPrefetchRespectsSpaceBoundary(t *testing.T) {
+	p := NewPrefetcher(32, 0.5)
+	// Space ends at page 4: only pages 0..3 are valid.
+	got := planWith(t, p, []uint64{0}, nil, 4)
+	for _, pg := range got {
+		if pg >= 4 {
+			t.Fatalf("prefetched page %d outside the managed space", pg)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("prefetched %d pages, want 3 (pages 1-3)", len(got))
+	}
+}
+
+func TestPrefetchSkipsResident(t *testing.T) {
+	p := NewPrefetcher(4, 0.5)
+	resident := map[uint64]bool{1: true, 2: true}
+	got := planWith(t, p, []uint64{0}, resident, 100)
+	for _, pg := range got {
+		if resident[pg] {
+			t.Fatalf("prefetched already-resident page %d", pg)
+		}
+	}
+	// Block 0 = pages 0..3; 0 faulted, 1,2 resident -> only 3 fetchable.
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("prefetch = %v, want [3]", got)
+	}
+}
+
+func TestPrefetchMultipleBlocks(t *testing.T) {
+	p := NewPrefetcher(4, 0.5)
+	got := planWith(t, p, []uint64{0, 100}, nil, 1000)
+	// Faults in blocks 0 and 25: each block fully fetched (3 extra each).
+	if len(got) != 6 {
+		t.Fatalf("prefetched %d pages, want 6", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("prefetch list not sorted/deduped")
+		}
+	}
+}
+
+func TestPrefetchEmptyFaults(t *testing.T) {
+	p := NewPrefetcher(32, 0.5)
+	if got := planWith(t, p, nil, nil, 100); got != nil {
+		t.Fatalf("prefetch on empty faults = %v", got)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/sim"
+)
+
+// TestRandomizedSimulationInvariants runs many small simulations with
+// randomized shapes and policies and checks the invariants that must hold
+// for every run:
+//
+//   - the run completes (no deadlock, no runaway),
+//   - migrations = evictions + finally-resident pages,
+//   - batches are time-ordered and non-overlapping,
+//   - every batch migrates at least as many pages as it handles faults,
+//   - the same seed reproduces the same cycle count.
+func TestRandomizedSimulationInvariants(t *testing.T) {
+	rng := sim.NewRand(2024)
+	policies := []config.Policy{
+		config.Baseline, config.BaselineCompressed, config.TO,
+		config.UE, config.TOUE, config.ETC, config.IdealEviction,
+	}
+	for trial := 0; trial < 12; trial++ {
+		pages := 48 + rng.Intn(64)
+		blocks := 2 + rng.Intn(8)
+		tpb := []int{256, 512, 1024}[rng.Intn(3)]
+		accesses := 3 + rng.Intn(6)
+		policy := policies[rng.Intn(len(policies))]
+		ratio := 0.5 + rng.Float64()*0.5
+
+		w := scanWorkload(pages, blocks, tpb, accesses)
+		cfg := testConfig(policy)
+		cfg.UVM.OversubscriptionRatio = ratio
+		if rng.Intn(2) == 0 {
+			cfg.UVM.RunaheadDepth = 1 + rng.Intn(8)
+		}
+
+		m, err := NewMachine(cfg, w)
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, policy, err)
+		}
+		stats, err := m.Run()
+		if err != nil {
+			t.Fatalf("trial %d (pages=%d blocks=%d tpb=%d policy=%v ratio=%.2f): %v",
+				trial, pages, blocks, tpb, policy, ratio, err)
+		}
+
+		resident := uint64(m.RT.Allocator().Len())
+		if stats.Migrations != stats.Evictions+resident {
+			t.Fatalf("trial %d: migrations %d != evictions %d + resident %d",
+				trial, stats.Migrations, stats.Evictions, resident)
+		}
+		for i, b := range stats.Batches {
+			if b.End < b.FirstMigration || b.FirstMigration < b.Start {
+				t.Fatalf("trial %d batch %d: bad timeline %+v", trial, i, b)
+			}
+			if b.Pages < b.Faults {
+				t.Fatalf("trial %d batch %d: pages %d < faults %d", trial, i, b.Pages, b.Faults)
+			}
+			if i > 0 && b.Start < stats.Batches[i-1].End {
+				t.Fatalf("trial %d: batches %d/%d overlap", trial, i-1, i)
+			}
+		}
+
+		again, err := Run(cfg, w)
+		if err != nil {
+			t.Fatalf("trial %d rerun: %v", trial, err)
+		}
+		if again.Cycles != stats.Cycles {
+			t.Fatalf("trial %d: nondeterministic: %d vs %d cycles",
+				trial, stats.Cycles, again.Cycles)
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/gpu"
+	"uvmsim/internal/metrics"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/vm"
+)
+
+// Timing constants for driver-side actions that the paper describes but
+// does not parameterize.
+const (
+	// isrDelayCycles models the top-half interrupt latency between a fault
+	// interrupt and the start of batch processing.
+	isrDelayCycles = 500
+	// ptUpdateCycles models updating the master and GPU page tables and
+	// freeing the frame after an eviction transfer (Figure 4, step 2).
+	ptUpdateCycles = 500
+	// perFaultCycles is the incremental CPU preprocessing cost per fault
+	// in a batch (sorting, CPU page-table walks); the dominant term is the
+	// flat FaultHandlingUS, as in the paper's model.
+	perFaultCycles = 20
+	// selfVictimGraceCycles is the minimum residency a page gets when a
+	// batch larger than device memory recycles its own arrivals: the
+	// waiters woken by the arrival must be able to replay their access
+	// (TLB refill + page walk + data) before the frame is reclaimed.
+	selfVictimGraceCycles = 2000
+)
+
+// Runtime is the UVM runtime (driver) model: it implements gpu.FaultSink,
+// batches faults, schedules migrations and evictions over the PCIe
+// channels, and runs the thread-oversubscription controller.
+type Runtime struct {
+	eng     *sim.Engine
+	cfg     *config.Config
+	stats   *metrics.Stats
+	pt      *vm.PageTable
+	cluster *gpu.Cluster
+	alloc   *Allocator
+	pref    *Prefetcher
+	inSpace func(page uint64) bool
+
+	pendingList []uint64
+	pendingSet  map[uint64]struct{}
+	inflight    map[uint64]struct{} // pages being migrated by the active batch
+	prefetchSet map[uint64]struct{} // subset of inflight initiated by the prefetcher
+	batchActive bool
+
+	// evicted marks pages currently evicted; a later fault on one is a
+	// premature eviction.
+	evicted map[uint64]bool
+
+	// Channel clocks (absolute cycles the PCIe directions are busy until).
+	// Baseline serializes everything on inChan (Figure 4); unobtrusive
+	// eviction moves evictions to outChan (Figure 10).
+	outFree uint64
+
+	// preFreed holds the completion times of preemptive evictions whose
+	// frames have not yet been claimed by a migration.
+	preFreed []uint64
+
+	// Thread-oversubscription controller state.
+	toDegree int
+	winSum   uint64
+	winCount uint64
+	prevMean float64
+	havePrev bool
+
+	stopped bool
+}
+
+// NewRuntime builds the runtime. capacityPages is the device memory size in
+// frames; inSpace bounds the prefetcher to the workload's allocations.
+func NewRuntime(eng *sim.Engine, cfg *config.Config, stats *metrics.Stats, pt *vm.PageTable, capacityPages int, inSpace func(uint64) bool) *Runtime {
+	r := &Runtime{
+		eng:         eng,
+		cfg:         cfg,
+		stats:       stats,
+		pt:          pt,
+		alloc:       NewAllocator(capacityPages),
+		inSpace:     inSpace,
+		pendingSet:  make(map[uint64]struct{}),
+		inflight:    make(map[uint64]struct{}),
+		prefetchSet: make(map[uint64]struct{}),
+		evicted:     make(map[uint64]bool),
+	}
+	if cfg.UVM.Prefetch {
+		r.pref = NewPrefetcher(cfg.UVM.PrefetchBlockPages, cfg.UVM.PrefetchThreshold)
+	}
+	if cfg.Policy.OversubscribesThreads() {
+		r.toDegree = cfg.UVM.OversubBlocksPerSM
+	}
+	return r
+}
+
+// AttachCluster wires the runtime to the GPU it serves. Must be called
+// before the first fault.
+func (r *Runtime) AttachCluster(c *gpu.Cluster) {
+	r.cluster = c
+	if r.toDegree > 0 {
+		c.SetOversubscription(r.toDegree)
+	}
+}
+
+// Allocator exposes the physical memory state (used by Machine for
+// preloading and by tests).
+func (r *Runtime) Allocator() *Allocator { return r.alloc }
+
+// Stop halts periodic controllers so the event queue can drain.
+func (r *Runtime) Stop() { r.stopped = true }
+
+// RaiseFault implements gpu.FaultSink: a page fault enters the fault
+// buffer; the first fault of an idle period triggers batch processing
+// after the top-half ISR delay.
+func (r *Runtime) RaiseFault(page uint64) {
+	if _, ok := r.inflight[page]; ok {
+		return // already migrating; the waiter will be woken on arrival
+	}
+	if _, ok := r.pendingSet[page]; ok {
+		return // already queued for the next batch
+	}
+	if r.evicted[page] {
+		r.stats.PrematureEv++
+	}
+	r.pendingList = append(r.pendingList, page)
+	r.pendingSet[page] = struct{}{}
+	if !r.batchActive {
+		r.batchActive = true
+		r.eng.After(isrDelayCycles, r.beginBatch)
+	}
+}
+
+// PendingFaults returns the number of faulted pages waiting for the next
+// batch.
+func (r *Runtime) PendingFaults() int { return len(r.pendingList) }
+
+// BatchActive reports whether a batch is being processed.
+func (r *Runtime) BatchActive() bool { return r.batchActive }
+
+// beginBatch drains the fault buffer and processes the batch (Figure 2):
+// preprocessing and CPU page-table walks take the GPU runtime fault
+// handling time, then migrations (and evictions) are scheduled on the PCIe
+// channels.
+func (r *Runtime) beginBatch() {
+	start := r.eng.Now()
+	n := len(r.pendingList)
+	if n > r.cfg.UVM.FaultBufferEntries {
+		n = r.cfg.UVM.FaultBufferEntries
+	}
+	faulted := append([]uint64(nil), r.pendingList[:n]...)
+	r.pendingList = r.pendingList[n:]
+	for _, pg := range faulted {
+		delete(r.pendingSet, pg)
+	}
+	// Preprocessing sorts faults in ascending page order.
+	sort.Slice(faulted, func(i, j int) bool { return faulted[i] < faulted[j] })
+
+	batchEvictions := 0
+
+	// Unobtrusive eviction: the top-half ISR issues preemptive evictions
+	// that overlap the fault-handling window (Figure 9, steps 2-3).
+	if r.cfg.Policy.UnobtrusiveEviction() {
+		batchEvictions += r.preemptiveEvict(start, len(faulted))
+	}
+
+	// Prefetch planning happens during preprocessing. Prefetches fill
+	// free frames freely; under memory pressure they are bounded to
+	// PrefetchAggressiveness x the faulted count — unbounded speculative
+	// displacement turns the density prefetcher into a churn engine under
+	// oversubscription.
+	var prefetched []uint64
+	if r.pref != nil {
+		prefetched = r.pref.Plan(faulted, r.alloc.Has, r.inSpace)
+		free := r.alloc.Capacity() - r.alloc.Len() - len(faulted)
+		if free < 0 {
+			free = 0
+		}
+		limit := free + int(r.cfg.UVM.PrefetchAggressiveness*float64(len(faulted)))
+		if len(prefetched) > limit {
+			prefetched = prefetched[:limit]
+		}
+	}
+	pages := mergeSorted(faulted, prefetched)
+	for _, pg := range prefetched {
+		r.prefetchSet[pg] = struct{}{}
+	}
+	for _, pg := range pages {
+		r.inflight[pg] = struct{}{}
+	}
+
+	handling := r.cfg.FaultHandlingCycles() + perFaultCycles*uint64(len(faulted))
+	t0 := start + handling
+
+	evs, first, last := r.planMigrations(start, t0, pages)
+	batchEvictions += evs
+
+	b := metrics.Batch{
+		Start:          start,
+		FirstMigration: first,
+		End:            last,
+		Faults:         len(faulted),
+		Pages:          len(pages),
+		Bytes:          uint64(len(pages)) * r.cfg.UVM.PageBytes,
+		Evictions:      batchEvictions,
+	}
+	r.eng.Schedule(last, func() { r.endBatch(b) })
+}
+
+// planMigrations schedules every page transfer of the batch and any paired
+// evictions, honoring the policy's channel model. It returns the eviction
+// count, the first migration start, and the last migration completion.
+func (r *Runtime) planMigrations(start, t0 uint64, pages []uint64) (evictions int, firstMig, lastDone uint64) {
+	mig := r.cfg.PageTransferCycles()
+	setup := r.cfg.UVM.DMASetupCycles
+	policy := r.cfg.Policy
+	// evictCost prices one eviction transfer: clean pages (dirty tracking
+	// on, never written) skip the GPU->CPU copy entirely.
+	evictCost := func(victim uint64) uint64 {
+		if r.cluster != nil && !r.cluster.PageDirty(victim) {
+			return 0
+		}
+		return r.cfg.PageTransferCycles() + setup
+	}
+
+	inChan := t0
+	outChan := max64(r.outFree, start)
+	firstMig = 0
+
+	// planned tracks this batch's own migrations so that a batch larger
+	// than device memory can victimize its own earliest arrivals.
+	type arrival struct {
+		page uint64
+		done uint64
+	}
+	var planned []arrival
+	plannedAlive := 0 // planned migrations not victimized by this batch
+	nextSelfVictim := 0
+
+	for _, pg := range pages {
+		frameAt := uint64(0)
+		if r.alloc.Len()+plannedAlive >= r.alloc.Capacity() {
+			// Need to evict to make room. Victim is the allocator's LRU
+			// head; if device memory holds nothing evictable (every frame
+			// is this batch's), recycle the batch's own earliest arrival.
+			var victim, lifeStart, avail uint64
+			if v, ok := r.alloc.PeekVictim(); ok {
+				victim = v
+				lifeStart, _ = r.alloc.AllocTime(v)
+				r.alloc.PopVictim()
+			} else {
+				if nextSelfVictim >= len(planned) {
+					panic("core: no eviction victim available")
+				}
+				a := planned[nextSelfVictim]
+				nextSelfVictim++
+				plannedAlive--
+				victim, lifeStart = a.page, a.done
+				// Self-victims keep their frame for a grace window so
+				// the warps their arrival woke can replay the access.
+				avail = a.done + selfVictimGraceCycles
+			}
+			evictions++
+			switch {
+			case policy == config.IdealEviction:
+				// Frame freed instantly; the unmap still happens.
+				r.scheduleEviction(victim, lifeStart, max64(t0, avail))
+				frameAt = avail
+			case policy.UnobtrusiveEviction():
+				st := max64(outChan, avail)
+				done := st + evictCost(victim) + ptUpdateCycles
+				outChan = done
+				r.scheduleEviction(victim, lifeStart, done)
+				frameAt = done
+			default:
+				// Baseline: eviction serialized before the paired
+				// allocation on the same transfer timeline (Figure 4).
+				st := max64(inChan, avail)
+				done := st + evictCost(victim) + ptUpdateCycles
+				inChan = done
+				r.scheduleEviction(victim, lifeStart, done)
+				frameAt = done
+			}
+		} else if len(r.preFreed) > 0 {
+			frameAt = r.preFreed[0]
+			r.preFreed = r.preFreed[1:]
+		}
+		migStart := max64(inChan, frameAt)
+		cost := mig
+		if len(planned) == 0 || planned[len(planned)-1].page+1 != pg {
+			cost += setup // new DMA descriptor for a non-contiguous run
+		}
+		migDone := migStart + cost
+		inChan = migDone
+		if firstMig == 0 {
+			firstMig = migStart
+		}
+		planned = append(planned, arrival{pg, migDone})
+		plannedAlive++
+		page := pg
+		r.eng.Schedule(migDone, func() { r.completeMigration(page) })
+		lastDone = migDone
+	}
+	r.outFree = outChan
+	if firstMig == 0 {
+		firstMig = t0
+	}
+	return evictions, firstMig, lastDone
+}
+
+// scheduleEviction completes an eviction at the given cycle: page tables
+// updated, TLBs shot down, frame freed, lifetime recorded.
+func (r *Runtime) scheduleEviction(victim, lifeStart, at uint64) {
+	r.eng.Schedule(at, func() {
+		r.pt.Unmap(victim)
+		if r.cluster != nil {
+			r.cluster.InvalidatePage(victim)
+			r.cluster.ClearDirty(victim)
+		}
+		r.stats.Evictions++
+		life := at - lifeStart
+		r.stats.RecordLifetime(life)
+		r.winSum += life
+		r.winCount++
+		r.evicted[victim] = true
+		// If the victim was a self-victim from the active batch, it is
+		// resident right now (its arrival fired earlier) and must be
+		// deallocated.
+		if r.alloc.Has(victim) {
+			r.alloc.Remove(victim)
+		}
+	})
+}
+
+// completeMigration lands one page in device memory.
+func (r *Runtime) completeMigration(page uint64) {
+	now := r.eng.Now()
+	r.pt.Map(page)
+	if !r.alloc.Has(page) {
+		r.alloc.Add(page, now)
+	}
+	delete(r.evicted, page)
+	delete(r.inflight, page)
+	r.stats.Migrations++
+	if _, ok := r.prefetchSet[page]; ok {
+		delete(r.prefetchSet, page)
+		r.stats.Prefetches++
+	}
+	if r.cluster != nil {
+		r.cluster.PageArrived(page)
+	}
+}
+
+// endBatch closes the batch and, if faults accumulated meanwhile,
+// immediately starts the next one (the driver's optimization that skips
+// the interrupt round-trip).
+func (r *Runtime) endBatch(b metrics.Batch) {
+	r.stats.RecordBatch(b)
+	if len(r.inflight) != 0 {
+		panic(fmt.Sprintf("core: %d migrations still in flight at batch end", len(r.inflight)))
+	}
+	if len(r.pendingList) > 0 {
+		r.beginBatch() // batchActive stays true
+		return
+	}
+	r.batchActive = false
+}
+
+// preemptiveEvict is the top-half ISR's unobtrusive-eviction action: if
+// device memory is at capacity, start evicting immediately so the frame is
+// free before the first migration begins. Returns the evictions issued.
+func (r *Runtime) preemptiveEvict(start uint64, faults int) int {
+	k := r.cfg.UVM.PreemptiveEvictions
+	if k > faults {
+		k = faults
+	}
+	done := 0
+	for i := 0; i < k; i++ {
+		if r.alloc.Len() < r.alloc.Capacity() {
+			break // not at capacity; nothing to do
+		}
+		victim, ok := r.alloc.PeekVictim()
+		if !ok {
+			break
+		}
+		life, _ := r.alloc.AllocTime(victim)
+		r.alloc.PopVictim()
+		cost := r.cfg.PageTransferCycles() + r.cfg.UVM.DMASetupCycles
+		if r.cluster != nil && !r.cluster.PageDirty(victim) {
+			cost = 0
+		}
+		st := max64(r.outFree, start)
+		at := st + cost + ptUpdateCycles
+		r.outFree = at
+		r.scheduleEviction(victim, life, at)
+		r.preFreed = append(r.preFreed, at)
+		done++
+	}
+	return done
+}
+
+// StartController begins the premature-eviction-rate controller that
+// dynamically adjusts the thread-oversubscription degree (Section 4.1):
+// every LifetimeWindow cycles it compares the running average page
+// lifetime with the previous window; a drop beyond LifetimeThreshold
+// shrinks the degree, otherwise the degree grows incrementally.
+func (r *Runtime) StartController() {
+	if !r.cfg.Policy.OversubscribesThreads() {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if r.stopped {
+			return
+		}
+		r.controllerStep()
+		r.eng.After(r.cfg.UVM.LifetimeWindow, tick)
+	}
+	r.eng.After(r.cfg.UVM.LifetimeWindow, tick)
+}
+
+func (r *Runtime) controllerStep() {
+	if r.winCount == 0 {
+		return // no evictions this window; keep the current degree
+	}
+	mean := float64(r.winSum) / float64(r.winCount)
+	r.winSum, r.winCount = 0, 0
+	defer func() { r.prevMean, r.havePrev = mean, true }()
+	if !r.havePrev {
+		return
+	}
+	// A drop beyond the threshold signals premature evictions: back off.
+	// Growth beyond the threshold signals headroom: oversubscribe more.
+	// The band in between holds the current degree, preventing the
+	// decrement/increment oscillation a two-way rule suffers under
+	// steady-state thrashing.
+	thr := r.cfg.UVM.LifetimeThreshold
+	switch {
+	case mean < r.prevMean*(1-thr):
+		if r.toDegree > 0 {
+			r.toDegree--
+		}
+	case mean > r.prevMean*(1+thr):
+		if r.toDegree < r.cfg.UVM.MaxOversubBlocks {
+			r.toDegree++
+		}
+	}
+	if r.cluster != nil {
+		r.cluster.SetOversubscription(r.toDegree)
+	}
+}
+
+// OversubDegree returns the controller's current degree.
+func (r *Runtime) OversubDegree() int { return r.toDegree }
+
+// mergeSorted merges two ascending slices with no duplicates across them.
+func mergeSorted(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,306 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation. Each driver runs the simulations it needs (sharing runs
+// through a memoizing Runner, since Figures 11-15 reuse the same policy
+// sweep) and renders a plain-text table with the same rows/series the
+// paper reports.
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/core"
+	"uvmsim/internal/metrics"
+	"uvmsim/internal/trace"
+	"uvmsim/internal/workload"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // "fig11", "table1", ...
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the table as aligned plain text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as RFC-4180-ish CSV (cells containing commas or
+// quotes are quoted). The first record is the column header.
+func (t *Table) CSV(w io.Writer) error {
+	writeRec := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRec(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRec(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// Runner memoizes simulation runs across experiment drivers.
+type Runner struct {
+	Params workload.Params
+	Base   config.Config
+	// Progress, when non-nil, receives one line per fresh simulation.
+	Progress io.Writer
+	// Suite overrides the 11-workload irregular set used by the policy
+	// figures; benchmarks scope it down to bound cost. Nil means the full
+	// paper suite.
+	Suite []string
+	// Ratios overrides the Figure 17 oversubscription sweep.
+	Ratios []float64
+
+	workloads map[string]*trace.Workload
+	results   map[string]*metrics.Stats
+}
+
+// NewRunner builds a runner over the given workload parameters and base
+// configuration.
+func NewRunner(p workload.Params, base config.Config) *Runner {
+	return &Runner{
+		Params:    p,
+		Base:      base,
+		workloads: make(map[string]*trace.Workload),
+		results:   make(map[string]*metrics.Stats),
+	}
+}
+
+// suite returns the irregular-workload set the policy figures sweep.
+func (r *Runner) suite() []string {
+	if len(r.Suite) > 0 {
+		return r.Suite
+	}
+	return irregularSet
+}
+
+// Workload returns (building and caching) the named workload.
+func (r *Runner) Workload(name string) (*trace.Workload, error) {
+	if w, ok := r.workloads[name]; ok {
+		return w, nil
+	}
+	w, err := workload.Build(name, r.Params)
+	if err != nil {
+		return nil, err
+	}
+	r.workloads[name] = w
+	return w, nil
+}
+
+// Run simulates the named workload under the base config modified by
+// mutate (which may be nil), memoizing on the resulting config.
+func (r *Runner) Run(name string, mutate func(*config.Config)) (*metrics.Stats, error) {
+	cfg := r.Base
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	key := fmt.Sprintf("%s|%v|%.3f|%.1f|%v|%v|%d|%v|%.2f|%d|%d|%.2f|%d|%d|%d",
+		name, cfg.Policy, cfg.UVM.OversubscriptionRatio, cfg.UVM.FaultHandlingUS,
+		cfg.Preload, cfg.TraditionalSwitch, cfg.UVM.MemoryPages, cfg.UVM.Prefetch,
+		cfg.UVM.PrefetchThreshold, cfg.UVM.OversubBlocksPerSM, cfg.UVM.MaxOversubBlocks,
+		cfg.UVM.LifetimeThreshold, cfg.UVM.PreemptiveEvictions, cfg.UVM.FaultBufferEntries,
+		cfg.UVM.RunaheadDepth) + fmt.Sprintf("|%d|%v", cfg.MaxCycles, cfg.UVM.TrackDirty)
+	if s, ok := r.results[key]; ok {
+		return s, nil
+	}
+	w, err := r.Workload(name)
+	if err != nil {
+		return nil, err
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "running %s policy=%v ratio=%.2f handling=%.0fus preload=%v trad=%v ...\n",
+			name, cfg.Policy, cfg.UVM.OversubscriptionRatio, cfg.UVM.FaultHandlingUS, cfg.Preload, cfg.TraditionalSwitch)
+	}
+	stats, err := core.Run(cfg, w)
+	if err != nil {
+		// Partial stats (cycle-limit aborts) pass through so sweep
+		// drivers can report lower bounds; only successes are memoized.
+		return stats, fmt.Errorf("exp: %s: %w", key, err)
+	}
+	r.results[key] = stats
+	return stats, nil
+}
+
+// RunLB is Run for sweeps that may enter pathological thrashing regimes:
+// a cycle-limit abort is reported as a lower bound rather than an error.
+func (r *Runner) RunLB(name string, mutate func(*config.Config)) (s *metrics.Stats, lowerBound bool, err error) {
+	s, err = r.Run(name, mutate)
+	if err != nil && errors.Is(err, core.ErrCycleLimit) && s != nil {
+		return s, true, nil
+	}
+	return s, false, err
+}
+
+// Speedup returns base cycles / variant cycles.
+func Speedup(base, variant *metrics.Stats) float64 {
+	if variant.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(variant.Cycles)
+}
+
+// GeoMean returns the geometric mean of positive values (the standard
+// aggregate for speedups). Zero or negative values are skipped.
+func GeoMean(vals []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	// n-th root via exp/log would need math; use iterative root for
+	// stability with few values.
+	return nthRoot(prod, n)
+}
+
+func nthRoot(x float64, n int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton's method on f(r) = r^n - x.
+	r := x
+	if r > 1 {
+		r = 1 + (x-1)/float64(n)
+	}
+	for i := 0; i < 200; i++ {
+		rn := 1.0
+		for j := 0; j < n-1; j++ {
+			rn *= r
+		}
+		next := r - (rn*r-x)/(float64(n)*rn)
+		if diff := next - r; diff < 1e-12 && diff > -1e-12 {
+			return next
+		}
+		r = next
+	}
+	return r
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// f2 and f0 format floats for table cells.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Experiments lists every driver by ID.
+func Experiments() []string {
+	ids := []string{
+		"table1", "fig01", "fig03", "fig05", "fig08", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"ext-runahead",
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Drive runs the driver with the given ID.
+func Drive(id string, r *Runner) (*Table, error) {
+	switch id {
+	case "table1":
+		return Table1(r)
+	case "fig01":
+		return Fig01(r)
+	case "fig03":
+		return Fig03(r)
+	case "fig05":
+		return Fig05(r)
+	case "fig08":
+		return Fig08(r)
+	case "fig11":
+		return Fig11(r)
+	case "fig12":
+		return Fig12(r)
+	case "fig13":
+		return Fig13(r)
+	case "fig14":
+		return Fig14(r)
+	case "fig15":
+		return Fig15(r)
+	case "fig16":
+		return Fig16(r)
+	case "fig17":
+		return Fig17(r)
+	case "fig18":
+		return Fig18(r)
+	case "ext-runahead":
+		return ExtRunahead(r)
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, Experiments())
+}

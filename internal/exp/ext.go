@@ -1,0 +1,56 @@
+package exp
+
+import "uvmsim/internal/config"
+
+// ExtRunahead is an extension experiment (not a paper figure): it compares
+// the two batch-enlarging mechanisms Section 4.1 weighs — runahead-style
+// speculative fault generation from stalled warps versus thread
+// oversubscription — plus their combination, against the baseline.
+func ExtRunahead(r *Runner) (*Table, error) {
+	t := &Table{
+		ID:      "ext-runahead",
+		Title:   "Extension: runahead fault generation vs thread oversubscription",
+		Columns: []string{"Workload", "BASELINE", "RA-4", "RA-16", "TO", "TO+RA-4"},
+		Notes: []string{
+			"RA-k: fault-stalled warps raise speculative faults for their next k instructions",
+			"the paper (Section 4.1) expects runahead to be the weaker mechanism",
+		},
+	}
+	variants := []struct {
+		policy   config.Policy
+		runahead int
+	}{
+		{config.Baseline, 4},
+		{config.Baseline, 16},
+		{config.TO, 0},
+		{config.TO, 4},
+	}
+	sums := make([][]float64, len(variants))
+	for _, name := range r.suite() {
+		base, err := r.Run(name, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name, "1.00"}
+		for i, v := range variants {
+			v := v
+			s, err := r.Run(name, func(c *config.Config) {
+				c.Policy = v.policy
+				c.UVM.RunaheadDepth = v.runahead
+			})
+			if err != nil {
+				return nil, err
+			}
+			sp := Speedup(base, s)
+			row = append(row, f2(sp))
+			sums[i] = append(sums[i], sp)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := []string{"AVERAGE", "1.00"}
+	for _, col := range sums {
+		avg = append(avg, f2(GeoMean(col)))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t, nil
+}

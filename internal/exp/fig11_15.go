@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"uvmsim/internal/config"
+	"uvmsim/internal/metrics"
+)
+
+// fig11Policies is the Figure 11 policy set, after the BASELINE reference.
+var fig11Policies = []config.Policy{
+	config.BaselineCompressed, config.TO, config.UE, config.TOUE, config.ETC,
+}
+
+// Fig11 reproduces Figure 11: speedup of every policy over the baseline
+// with state-of-the-art prefetching, per workload plus the average.
+// Headline numbers to approximate: TO+UE ≈ 2.0x, ≈1.79x over ETC.
+func Fig11(r *Runner) (*Table, error) {
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Speedup over BASELINE (state-of-the-art prefetching), 50% oversubscription",
+		Columns: []string{"Workload", "BASELINE", "+PCIeC", "TO", "UE", "TO+UE", "ETC"},
+		Notes: []string{
+			"paper: TO+UE averages 2.0x over BASELINE, 1.81x over +PCIeC, 1.79x over ETC",
+		},
+	}
+	sums := make([][]float64, len(fig11Policies))
+	for _, name := range r.suite() {
+		base, err := r.Run(name, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name, "1.00"}
+		for i, p := range fig11Policies {
+			p := p
+			var s *metrics.Stats
+			s, err = r.Run(name, func(c *config.Config) { c.Policy = p })
+			if err != nil {
+				return nil, err
+			}
+			v := Speedup(base, s)
+			row = append(row, f2(v))
+			sums[i] = append(sums[i], v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := []string{"AVERAGE", "1.00"}
+	for _, col := range sums {
+		avg = append(avg, f2(GeoMean(col)))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: total number of batches with thread
+// oversubscription, relative to the baseline (paper: −51% on average).
+func Fig12(r *Runner) (*Table, error) {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "Total number of batches (thread oversubscription vs baseline)",
+		Columns: []string{"Workload", "BASELINE", "TO", "Relative"},
+		Notes:   []string{"paper: TO reduces the batch count by 51% on average"},
+	}
+	var rel []float64
+	for _, name := range r.suite() {
+		base, err := r.Run(name, nil)
+		if err != nil {
+			return nil, err
+		}
+		to, err := r.Run(name, func(c *config.Config) { c.Policy = config.TO })
+		if err != nil {
+			return nil, err
+		}
+		v := float64(to.NumBatches()) / float64(base.NumBatches())
+		rel = append(rel, v)
+		t.Rows = append(t.Rows, []string{name,
+			f0(float64(base.NumBatches())), f0(float64(to.NumBatches())), pct(v)})
+	}
+	t.Rows = append(t.Rows, []string{"AVERAGE", "", "", pct(Mean(rel))})
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: average batch size with thread
+// oversubscription relative to baseline (paper: 2.27x on average).
+func Fig13(r *Runner) (*Table, error) {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Average batch size (thread oversubscription vs baseline)",
+		Columns: []string{"Workload", "BASELINE (pages)", "TO (pages)", "Relative"},
+		Notes:   []string{"paper: TO processes 2.27x more page faults per batch on average"},
+	}
+	var rel []float64
+	for _, name := range r.suite() {
+		base, err := r.Run(name, nil)
+		if err != nil {
+			return nil, err
+		}
+		to, err := r.Run(name, func(c *config.Config) { c.Policy = config.TO })
+		if err != nil {
+			return nil, err
+		}
+		v := to.MeanBatchPages() / base.MeanBatchPages()
+		rel = append(rel, v)
+		t.Rows = append(t.Rows, []string{name,
+			f2(base.MeanBatchPages()), f2(to.MeanBatchPages()), f2(v)})
+	}
+	t.Rows = append(t.Rows, []string{"AVERAGE", "", "", f2(Mean(rel))})
+	return t, nil
+}
+
+// Fig14 reproduces Figure 14: average batch processing time of TO and
+// TO+UE normalized to baseline (paper: TO+UE −27% despite bigger batches;
+// UE cuts it by 60% when combined with TO).
+func Fig14(r *Runner) (*Table, error) {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Average batch processing time normalized to baseline",
+		Columns: []string{"Workload", "BASELINE", "TO", "TO+UE"},
+		Notes:   []string{"paper: TO+UE reduces average batch processing time by 27%"},
+	}
+	var toRel, toueRel []float64
+	for _, name := range r.suite() {
+		base, err := r.Run(name, nil)
+		if err != nil {
+			return nil, err
+		}
+		to, err := r.Run(name, func(c *config.Config) { c.Policy = config.TO })
+		if err != nil {
+			return nil, err
+		}
+		toue, err := r.Run(name, func(c *config.Config) { c.Policy = config.TOUE })
+		if err != nil {
+			return nil, err
+		}
+		b := base.MeanBatchProcessingTime()
+		v1 := to.MeanBatchProcessingTime() / b
+		v2 := toue.MeanBatchProcessingTime() / b
+		toRel = append(toRel, v1)
+		toueRel = append(toueRel, v2)
+		t.Rows = append(t.Rows, []string{name, "1.00", f2(v1), f2(v2)})
+	}
+	t.Rows = append(t.Rows, []string{"AVERAGE", "1.00", f2(Mean(toRel)), f2(Mean(toueRel))})
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: premature eviction rates, baseline versus
+// thread oversubscription. Paper shape: TO decreases premature evictions
+// for most (topological) workloads; the dynamic controller bounds the
+// damage elsewhere.
+func Fig15(r *Runner) (*Table, error) {
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Premature eviction rate (fraction of evictions later re-faulted)",
+		Columns: []string{"Workload", "BASELINE", "TO"},
+	}
+	for _, name := range r.suite() {
+		base, err := r.Run(name, nil)
+		if err != nil {
+			return nil, err
+		}
+		to, err := r.Run(name, func(c *config.Config) { c.Policy = config.TO })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{name,
+			pct(base.PrematureEvictionRate()), pct(to.PrematureEvictionRate())})
+	}
+	return t, nil
+}

@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"fmt"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/metrics"
+)
+
+// Fig16 reproduces Figure 16: the distribution of batch sizes for the
+// baseline and thread oversubscription, with the efficiency curve
+// (reciprocal of per-page handling time) per bucket. Shape to match:
+// TO shifts mass toward bigger batches, and efficiency rises with size.
+func Fig16(r *Runner) (*Table, error) {
+	const workloadName = "BFS-TTC"
+	base, err := r.Run(workloadName, nil)
+	if err != nil {
+		return nil, err
+	}
+	to, err := r.Run(workloadName, func(c *config.Config) { c.Policy = config.TO })
+	if err != nil {
+		return nil, err
+	}
+
+	const bucketMB = 1.0
+	hBase := metrics.NewHistogram(bucketMB)
+	hTO := metrics.NewHistogram(bucketMB)
+	// Efficiency per bucket, pooled over both runs.
+	effSum := map[int]float64{}
+	effN := map[int]int{}
+	fill := func(s *metrics.Stats, h *metrics.Histogram) {
+		for _, b := range s.Batches {
+			if b.Pages == 0 {
+				continue
+			}
+			mb := float64(b.Bytes) / (1 << 20)
+			h.Add(mb)
+			perPage := float64(b.ProcessingTime()) / float64(b.Pages)
+			bucket := int(mb / bucketMB)
+			effSum[bucket] += 1 / perPage
+			effN[bucket]++
+		}
+	}
+	fill(base, hBase)
+	fill(to, hTO)
+
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Batch size distribution and per-page efficiency (BFS)",
+		Columns: []string{"Batch size", "BASELINE", "TO", "Efficiency (pages/ms)"},
+		Notes: []string{
+			"efficiency = 1 / per-page handling time, pooled over both runs",
+			"paper shape: TO shifts the distribution right; efficiency grows with batch size",
+		},
+	}
+	fb, ft := hBase.Fractions(), hTO.Fractions()
+	n := len(fb)
+	if len(ft) > n {
+		n = len(ft)
+	}
+	for i := 0; i < n; i++ {
+		var a, b float64
+		if i < len(fb) {
+			a = fb[i]
+		}
+		if i < len(ft) {
+			b = ft[i]
+		}
+		eff := ""
+		if effN[i] > 0 {
+			// pages/cycle x 1e6 cycles/ms (1 cycle = 1ns at 1 GHz).
+			eff = f2(effSum[i] / float64(effN[i]) * 1e6)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d-%dMB", i, i+1), pct(a), pct(b), eff,
+		})
+	}
+	return t, nil
+}
+
+// fig17Workloads is the representative subset for the sensitivity sweeps
+// (full 11-workload sweeps at 10 ratios would add little and cost much).
+var fig17Workloads = []string{"BFS-TTC", "PR"}
+
+// fig17Ratios are the oversubscription ratios swept by Figure 17.
+var fig17Ratios = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// ratios returns the oversubscription sweep, honoring a runner override.
+func (r *Runner) ratios() []float64 {
+	if len(r.Ratios) > 0 {
+		return r.Ratios
+	}
+	return fig17Ratios
+}
+
+// Fig17 reproduces Figure 17: execution time versus oversubscription
+// ratio (relative to the all-fits ratio 1.0), and the speedup of
+// unobtrusive eviction at each ratio. Paper shape: execution time grows
+// steeply as memory shrinks; UE's speedup grows as evictions dominate
+// (1.63x at ratio 0.1), reaching 1.0 at ratio 1.0.
+func Fig17(r *Runner) (*Table, error) {
+	t := &Table{
+		ID:      "fig17",
+		Title:   "Sensitivity to memory oversubscription ratio",
+		Columns: []string{"Ratio", "Relative exec time", "Speedup of UE"},
+		Notes: []string{
+			fmt.Sprintf("averaged over %v", fig17Workloads),
+			"paper shape: exec time rises as memory shrinks; UE speedup grows toward small ratios (1.63x at 0.1)",
+		},
+	}
+	for _, ratio := range r.ratios() {
+		ratio := ratio
+		var relVals, ueVals []float64
+		anyLB := false
+		for _, name := range r.sensitivitySet() {
+			full, err := r.Run(name, func(c *config.Config) { c.UVM.OversubscriptionRatio = 1.0 })
+			if err != nil {
+				return nil, err
+			}
+			// Deep-oversubscription points can thrash far past the 64x
+			// slowdowns the paper reports; cap them relative to the
+			// full-memory run and report lower bounds.
+			cap64 := 32 * full.Cycles
+			base, baseLB, err := r.RunLB(name, func(c *config.Config) {
+				c.UVM.OversubscriptionRatio = ratio
+				c.MaxCycles = cap64
+			})
+			if err != nil {
+				return nil, err
+			}
+			ue, ueLB, err := r.RunLB(name, func(c *config.Config) {
+				c.UVM.OversubscriptionRatio = ratio
+				c.Policy = config.UE
+				c.MaxCycles = cap64
+			})
+			if err != nil {
+				return nil, err
+			}
+			anyLB = anyLB || baseLB || ueLB
+			relVals = append(relVals, float64(base.Cycles)/float64(full.Cycles))
+			ueVals = append(ueVals, Speedup(base, ue))
+		}
+		rel, ues := f2(Mean(relVals)), f2(GeoMean(ueVals))
+		if anyLB {
+			rel = ">=" + rel
+			ues = "~" + ues
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%.1f", ratio), rel, ues})
+	}
+	return t, nil
+}
+
+// sensitivitySet is the subset the sensitivity sweeps use: the
+// representative fig17Workloads intersected with the runner's suite.
+func (r *Runner) sensitivitySet() []string {
+	if len(r.Suite) == 0 {
+		return fig17Workloads
+	}
+	inSuite := map[string]bool{}
+	for _, n := range r.Suite {
+		inSuite[n] = true
+	}
+	var out []string
+	for _, n := range fig17Workloads {
+		if inSuite[n] {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = r.Suite[:1]
+	}
+	return out
+}
+
+// fig18Times are the GPU runtime fault handling times (µs) swept by
+// Figure 18.
+var fig18Times = []float64{20, 30, 40, 50}
+
+// Fig18 reproduces Figure 18: the speedup of TO+UE over the baseline as
+// the GPU runtime fault handling time grows. Paper shape: monotonically
+// increasing — the proposals amortize exactly this cost.
+func Fig18(r *Runner) (*Table, error) {
+	t := &Table{
+		ID:      "fig18",
+		Title:   "Sensitivity to GPU runtime fault handling time",
+		Columns: []string{"Fault handling (us)", "TO+UE speedup"},
+		Notes: []string{
+			fmt.Sprintf("averaged over %v; each point normalized to its own baseline", fig17Workloads),
+			"paper shape: speedup grows with fault handling time",
+		},
+	}
+	for _, us := range fig18Times {
+		us := us
+		var vals []float64
+		for _, name := range r.sensitivitySet() {
+			base, err := r.Run(name, func(c *config.Config) { c.UVM.FaultHandlingUS = us })
+			if err != nil {
+				return nil, err
+			}
+			toue, err := r.Run(name, func(c *config.Config) {
+				c.UVM.FaultHandlingUS = us
+				c.Policy = config.TOUE
+			})
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, Speedup(base, toue))
+		}
+		t.Rows = append(t.Rows, []string{f0(us), f2(GeoMean(vals))})
+	}
+	return t, nil
+}

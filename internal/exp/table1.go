@@ -1,0 +1,33 @@
+package exp
+
+import "fmt"
+
+// Table1 renders the simulated-system configuration, validating that the
+// runner's base config still matches the paper's parameters.
+func Table1(r *Runner) (*Table, error) {
+	c := r.Base
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	g, u := c.GPU, c.UVM
+	rows := [][]string{
+		{"Core", fmt.Sprintf("%d SMs, %.0fGHz, %d threads per SM, %dKB register files per SM",
+			g.NumSMs, g.ClockGHz, g.ThreadsPerSM, g.RegistersPerSM*4/1024)},
+		{"Private L1 Cache", fmt.Sprintf("%dKB, %d-way, LRU", g.L1Bytes/1024, g.L1Ways)},
+		{"Private L1 TLB", fmt.Sprintf("%d entries per core, fully associative, LRU", g.L1TLBEntries)},
+		{"Shared L2 Cache", fmt.Sprintf("%dMB total, %d-way, LRU", g.L2Bytes/(1<<20), g.L2Ways)},
+		{"Shared L2 TLB", fmt.Sprintf("%d entries total, %d-way associative, LRU", g.L2TLBEntries, g.L2TLBWays)},
+		{"Memory", fmt.Sprintf("%d cycle latency", g.MemLatency)},
+		{"Fault Buffer", fmt.Sprintf("%d entries", u.FaultBufferEntries)},
+		{"Fault Handling", fmt.Sprintf("%dKB page size, %.0fus GPU runtime fault handling time, %.2fGB/s PCIe bandwidth",
+			u.PageBytes/1024, u.FaultHandlingUS, u.PCIeGBps)},
+		{"Page Table Walker", fmt.Sprintf("shared, %d concurrent walks, %d levels", g.PageWalkers, g.PTLevels)},
+		{"Replacement", "aged-based LRU (allocation order)"},
+	}
+	return &Table{
+		ID:      "table1",
+		Title:   "Configuration of the simulated system",
+		Columns: []string{"Component", "Configuration"},
+		Rows:    rows,
+	}, nil
+}

@@ -1,0 +1,76 @@
+package gpu
+
+// Cache is a set-associative, LRU, write-allocate data cache model. The
+// simulator only needs hit/miss decisions (latency is priced by the caller),
+// so the cache tracks tags, not data.
+type Cache struct {
+	sets   [][]uint64 // per set, MRU last
+	ways   int
+	hits   uint64
+	misses uint64
+}
+
+// NewCache builds a cache with the given total size, associativity, and
+// line size. It panics on shapes that don't divide evenly: silently
+// rounding capacity would change the modeled hit rate.
+func NewCache(totalBytes uint64, ways int, lineBytes uint64) *Cache {
+	if totalBytes == 0 || ways <= 0 || lineBytes == 0 {
+		panic("gpu: bad cache shape")
+	}
+	if totalBytes%(lineBytes*uint64(ways)) != 0 {
+		panic("gpu: cache size not divisible by ways*line")
+	}
+	nSets := int(totalBytes / (lineBytes * uint64(ways)))
+	c := &Cache{sets: make([][]uint64, nSets), ways: ways}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, ways)
+	}
+	return c
+}
+
+// Access looks up a line (by line address, i.e. byte address / line size),
+// inserting it on miss, and reports whether it hit.
+func (c *Cache) Access(line uint64) bool {
+	s := int(line % uint64(len(c.sets)))
+	set := c.sets[s]
+	for i, l := range set {
+		if l == line {
+			copy(set[i:], set[i+1:])
+			set[len(set)-1] = line
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(set) == c.ways {
+		copy(set, set[1:])
+		set[len(set)-1] = line
+	} else {
+		set = append(set, line)
+		c.sets[s] = set
+	}
+	return false
+}
+
+// InvalidatePage drops every line belonging to the given page (called when
+// a page is evicted so stale lines cannot hit after re-migration).
+func (c *Cache) InvalidatePage(page, pageBytes, lineBytes uint64) int {
+	lo := page * pageBytes / lineBytes
+	hi := (page + 1) * pageBytes / lineBytes
+	removed := 0
+	for s, set := range c.sets {
+		kept := set[:0]
+		for _, l := range set {
+			if l >= lo && l < hi {
+				removed++
+			} else {
+				kept = append(kept, l)
+			}
+		}
+		c.sets[s] = kept
+	}
+	return removed
+}
+
+// Stats returns cumulative hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }

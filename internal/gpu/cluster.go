@@ -1,0 +1,784 @@
+// Package gpu models the GPU hardware: streaming multiprocessors (SMs),
+// warps and thread blocks, the block dispatcher, L1/L2 data caches, and the
+// Virtual-Thread-style thread-block context switching that thread
+// oversubscription builds on. Address translation hardware comes from
+// internal/vm; the UVM runtime (internal/core) plugs in through the
+// FaultSink interface.
+package gpu
+
+import (
+	"fmt"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/metrics"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/trace"
+	"uvmsim/internal/vm"
+)
+
+// FaultSink receives page faults raised by the GPU MMU. The UVM runtime
+// implements it; it must eventually make the page resident and call
+// Cluster.PageArrived.
+type FaultSink interface {
+	RaiseFault(page uint64)
+}
+
+// SM is one streaming multiprocessor: private L1 TLB and L1 data cache,
+// plus the resident thread blocks.
+type SM struct {
+	id      int
+	l1tlb   *vm.TLB
+	l1cache *Cache
+
+	active   []*Block
+	inactive []*Block
+
+	switching     bool   // a context switch is in flight
+	enabled       bool   // false while ETC memory-aware throttling disables the SM
+	lastSwitchEnd uint64 // cycle the previous switch completed (cooldown anchor)
+	issueFreeAt   uint64 // issue-port virtual time, in 1/slots-cycle units
+
+	deferred []*Warp // warps whose issue was deferred while disabled
+}
+
+// Cluster is the whole GPU: all SMs plus the shared translation and cache
+// hardware, executing one kernel at a time.
+type Cluster struct {
+	eng   *sim.Engine
+	cfg   *config.Config
+	stats *metrics.Stats
+
+	pt      *vm.PageTable
+	walker  *vm.Walker
+	l2tlb   *vm.TLB
+	l2cache *Cache
+	sms     []*SM
+	sink    FaultSink
+
+	// waiters maps a faulted page to the warps stalled on it.
+	waiters map[uint64][]*Warp
+
+	// Per-kernel state.
+	kernel       *trace.Kernel
+	warpSize     int
+	schedLimit   int // active blocks per SM for this kernel
+	nextBlock    int
+	blocksDone   int
+	onKernelDone func()
+
+	// Thread oversubscription state.
+	oversubDegree int // inactive block slots per SM
+	switchCycles  uint64
+
+	// traditionalSwitch makes blocks swap on any full stall (Figure 5's
+	// "context switching in traditional GPUs" experiment) instead of only
+	// on full fault stalls.
+	traditionalSwitch bool
+
+	// extraMemCycles is added to every DRAM access (ETC capacity
+	// compression's decompression cost).
+	extraMemCycles uint64
+
+	// dramFreeAt models DRAM bandwidth contention when
+	// GPU.DRAMBytesPerCycle is configured: the cycle the memory channel
+	// next becomes free.
+	dramFreeAt uint64
+
+	// dirty tracks written pages when UVM.TrackDirty is set.
+	dirty map[uint64]struct{}
+}
+
+// New assembles a cluster from the shared page table. sink may be nil for
+// workloads guaranteed not to fault (tests, unlimited-memory runs) — a
+// fault with a nil sink panics.
+func New(eng *sim.Engine, cfg *config.Config, stats *metrics.Stats, pt *vm.PageTable, sink FaultSink) *Cluster {
+	g := &cfg.GPU
+	c := &Cluster{
+		eng:     eng,
+		cfg:     cfg,
+		stats:   stats,
+		pt:      pt,
+		walker:  vm.NewWalker(eng, pt, g.PageWalkers, g.PTLevels, g.MemLatency, g.PWCLatency),
+		l2tlb:   vm.NewTLB(g.L2TLBEntries, g.L2TLBWays),
+		l2cache: NewCache(g.L2Bytes, g.L2Ways, g.LineBytes),
+		sink:    sink,
+		waiters: make(map[uint64][]*Warp),
+	}
+	if cfg.UVM.TrackDirty {
+		c.dirty = make(map[uint64]struct{})
+	}
+	for i := 0; i < g.NumSMs; i++ {
+		c.sms = append(c.sms, &SM{
+			id:      i,
+			l1tlb:   vm.NewFullyAssociativeTLB(g.L1TLBEntries),
+			l1cache: NewCache(g.L1Bytes, g.L1Ways, g.LineBytes),
+			enabled: true,
+		})
+	}
+	return c
+}
+
+// SetOversubscription sets the number of extra (inactive) thread blocks
+// each SM may host. The premature-eviction controller adjusts this during
+// a run.
+func (c *Cluster) SetOversubscription(degree int) {
+	if degree < 0 {
+		degree = 0
+	}
+	c.oversubDegree = degree
+}
+
+// Oversubscription returns the current extra-block degree.
+func (c *Cluster) Oversubscription() int { return c.oversubDegree }
+
+// SetTraditionalSwitching enables the Figure 5 stall-triggered switching
+// mode.
+func (c *Cluster) SetTraditionalSwitching(on bool) { c.traditionalSwitch = on }
+
+// SetExtraMemCycles sets the per-DRAM-access decompression penalty (ETC
+// capacity compression).
+func (c *Cluster) SetExtraMemCycles(n uint64) { c.extraMemCycles = n }
+
+// NumSMs returns the SM count.
+func (c *Cluster) NumSMs() int { return len(c.sms) }
+
+// SchedulableBlocks computes how many blocks of kernel k one SM can host
+// actively, applying the thread, register, and block-slot constraints from
+// Section 2.1.
+func (c *Cluster) SchedulableBlocks(k *trace.Kernel) int {
+	return SchedulableBlocks(&c.cfg.GPU, k)
+}
+
+// SchedulableBlocks is the package-level form of the per-SM block limit,
+// used by the working-set analyzer as well as the cluster.
+func SchedulableBlocks(g *config.GPU, k *trace.Kernel) int {
+	limit := g.MaxBlocksPerSM
+	if byThreads := g.ThreadsPerSM / k.ThreadsPerBlock; byThreads < limit {
+		limit = byThreads
+	}
+	regsPerBlock := k.RegsPerThread * k.ThreadsPerBlock
+	if regsPerBlock > 0 {
+		if byRegs := g.RegistersPerSM / regsPerBlock; byRegs < limit {
+			limit = byRegs
+		}
+	}
+	if limit < 1 {
+		limit = 1 // a kernel that fits nowhere still runs one block at a time
+	}
+	return limit
+}
+
+// contextSwitchCycles prices one full context switch (save + restore of
+// register files and per-block state through global memory), following
+// footnote 5 and Section 6.5 of the paper.
+func (c *Cluster) contextSwitchCycles(k *trace.Kernel) uint64 {
+	const blockStateBytes = 5 << 10 // warp IDs, block IDs, SIMT stack
+	ctx := uint64(k.ThreadsPerBlock*k.RegsPerThread*4) + blockStateBytes
+	bw := c.cfg.GPU.GlobalMemBWBytesPerCycle
+	if bw == 0 {
+		return 0
+	}
+	return 2 * ctx / bw // save, then restore
+}
+
+// Launch starts kernel k. onDone runs when every block has finished.
+// Only one kernel runs at a time.
+func (c *Cluster) Launch(k *trace.Kernel, onDone func()) {
+	if c.kernel != nil {
+		panic("gpu: Launch while a kernel is running")
+	}
+	if len(c.waiters) != 0 {
+		panic("gpu: stale fault waiters across kernel launch")
+	}
+	c.kernel = k
+	c.warpSize = c.cfg.GPU.WarpSize
+	c.schedLimit = c.SchedulableBlocks(k)
+	c.switchCycles = c.contextSwitchCycles(k)
+	c.nextBlock = 0
+	c.blocksDone = 0
+	c.onKernelDone = onDone
+	for _, sm := range c.sms {
+		sm.active = sm.active[:0]
+		sm.inactive = sm.inactive[:0]
+		sm.switching = false
+		sm.deferred = sm.deferred[:0]
+	}
+	for _, sm := range c.sms {
+		c.refillSM(sm)
+	}
+	if c.blocksDone == c.kernel.Blocks { // zero-block kernel
+		c.finishKernel()
+	}
+}
+
+// refillSM tops up an SM's active and inactive block slots from the grid.
+// Throttled SMs receive no new blocks.
+func (c *Cluster) refillSM(sm *SM) {
+	if !sm.enabled {
+		return
+	}
+	for len(sm.active) < c.schedLimit {
+		b, ok := c.dispatchBlock(sm, true)
+		if !ok {
+			break
+		}
+		sm.active = append(sm.active, b)
+		c.startBlock(b)
+	}
+	for len(sm.inactive) < c.oversubDegree {
+		b, ok := c.dispatchBlock(sm, false)
+		if !ok {
+			break
+		}
+		sm.inactive = append(sm.inactive, b)
+	}
+}
+
+// dispatchBlock pulls the next block of the grid for sm.
+func (c *Cluster) dispatchBlock(sm *SM, active bool) (*Block, bool) {
+	if c.nextBlock >= c.kernel.Blocks {
+		return nil, false
+	}
+	idx := c.nextBlock
+	c.nextBlock++
+	b := &Block{idx: idx, sm: sm, active: active}
+	nWarps := c.kernel.WarpsPerBlock(c.warpSize)
+	for w := 0; w < nWarps; w++ {
+		b.warps = append(b.warps, &Warp{
+			id:     w,
+			block:  b,
+			stream: c.kernel.NewWarpStream(idx, w),
+			state:  WarpReady,
+		})
+	}
+	return b, true
+}
+
+// startBlock issues every ready warp of a newly activated block.
+func (c *Cluster) startBlock(b *Block) {
+	b.started = true
+	for _, w := range b.warps {
+		if w.state == WarpReady {
+			c.issueWarp(w)
+		}
+	}
+}
+
+// issueWarp advances a ready warp: replays a faulted access if one is
+// pending, otherwise fetches the next instruction.
+func (c *Cluster) issueWarp(w *Warp) {
+	sm := w.block.sm
+	if !sm.enabled {
+		sm.deferred = append(sm.deferred, w)
+		return
+	}
+	if !w.block.active {
+		// A warp of an inactive block just became ready: the block is now
+		// a context-switch candidate.
+		c.maybeSwitch(sm)
+		return
+	}
+	if w.hasReplay {
+		w.hasReplay = false
+		w.state = WarpBusy
+		c.issueMemory(w, w.replayAcc)
+		return
+	}
+	acc, ok := w.stream.Next()
+	if !ok {
+		c.warpDone(w)
+		return
+	}
+	c.stats.Instrs++
+	w.state = WarpBusy
+	delay := acc.ComputeCycles
+	if delay == 0 {
+		delay = 1 // every instruction occupies at least one cycle
+	}
+	delay += c.issueQueueDelay(sm)
+	if acc.IsMemory() {
+		a := acc
+		c.eng.After(delay, func() { c.issueMemory(w, a) })
+	} else {
+		c.eng.After(delay, func() {
+			w.state = WarpReady
+			c.issueWarp(w)
+		})
+	}
+	if c.traditionalSwitch {
+		// In stall-triggered mode the block may have just lost its last
+		// ready warp.
+		c.maybeSwitch(sm)
+	}
+}
+
+// issueMemory coalesces the access's lanes, translates the touched pages,
+// and either services the data or raises page faults.
+func (c *Cluster) issueMemory(w *Warp, acc trace.Access) {
+	pageBytes := c.cfg.UVM.PageBytes
+	lineBytes := c.cfg.GPU.LineBytes
+	pages := uniqueKeys(acc.Addrs, pageBytes)
+	lines := uniqueKeys(acc.Addrs, lineBytes)
+
+	remaining := len(pages)
+	var faulted []uint64
+	for _, p := range pages {
+		p := p
+		c.translate(w.block.sm, p, func(resident bool) {
+			if !resident {
+				faulted = append(faulted, p)
+			}
+			remaining--
+			if remaining == 0 {
+				c.memoryResolved(w, acc, lines, faulted)
+			}
+		})
+	}
+}
+
+// memoryResolved finishes a memory instruction once all its pages have a
+// translation answer.
+func (c *Cluster) memoryResolved(w *Warp, acc trace.Access, lines, faulted []uint64) {
+	if len(faulted) > 0 {
+		if c.sink == nil {
+			panic(fmt.Sprintf("gpu: page fault on page %d with no fault sink", faulted[0]))
+		}
+		w.state = WarpFaultStalled
+		w.hasReplay = true
+		w.replayAcc = acc
+		w.pendingPgs = make(map[uint64]struct{}, len(faulted))
+		b := w.block
+		b.faultStalled++
+		for _, p := range faulted {
+			w.pendingPgs[p] = struct{}{}
+			c.waiters[p] = append(c.waiters[p], w)
+			c.stats.FaultsRaised++
+			c.sink.RaiseFault(p)
+		}
+		c.runahead(w)
+		c.maybeSwitch(b.sm)
+		return
+	}
+	if acc.Store && c.dirty != nil {
+		for _, a := range acc.Addrs {
+			c.dirty[a/c.cfg.UVM.PageBytes] = struct{}{}
+		}
+	}
+	lat := c.dataLatency(w.block.sm, lines)
+	c.eng.After(lat, func() {
+		w.state = WarpReady
+		c.issueWarp(w)
+	})
+}
+
+// runahead raises speculative faults for the pages of a fault-stalled
+// warp's next RunaheadDepth instructions (no waiters are registered: the
+// pages simply join the fault batch early). This is the idealized
+// runahead alternative Section 4.1 of the paper weighs against thread
+// oversubscription.
+func (c *Cluster) runahead(w *Warp) {
+	depth := c.cfg.UVM.RunaheadDepth
+	if depth == 0 {
+		return
+	}
+	peeker, ok := w.stream.(trace.Peeker)
+	if !ok {
+		return
+	}
+	pageBytes := c.cfg.UVM.PageBytes
+	for i := 0; i < depth; i++ {
+		acc, ok := peeker.PeekAhead(i)
+		if !ok {
+			return
+		}
+		for _, p := range uniqueKeys(acc.Addrs, pageBytes) {
+			if c.pt.Resident(p) {
+				continue
+			}
+			c.stats.RunaheadFaults++
+			c.sink.RaiseFault(p)
+		}
+	}
+}
+
+// translate resolves a page through L1 TLB -> L2 TLB -> page walker.
+// done(resident) may be called synchronously (L1 hit).
+func (c *Cluster) translate(sm *SM, page uint64, done func(bool)) {
+	if sm.l1tlb.Lookup(page) {
+		c.stats.TLBL1Hits++
+		done(true)
+		return
+	}
+	c.stats.TLBL1Miss++
+	c.eng.After(c.cfg.GPU.L2Latency, func() {
+		if c.l2tlb.Lookup(page) {
+			c.stats.TLBL2Hits++
+			sm.l1tlb.Insert(page)
+			done(true)
+			return
+		}
+		c.stats.TLBL2Miss++
+		c.walker.Walk(page, func(resident bool) {
+			if resident {
+				c.l2tlb.Insert(page)
+				sm.l1tlb.Insert(page)
+			}
+			done(resident)
+		})
+	})
+}
+
+// dataLatency prices the data accesses of one warp instruction: lines are
+// serviced in parallel, so the instruction waits for the slowest one.
+func (c *Cluster) dataLatency(sm *SM, lines []uint64) uint64 {
+	g := &c.cfg.GPU
+	var worst uint64
+	for _, line := range lines {
+		lat := g.L1Latency
+		if sm.l1cache.Access(line) {
+			c.stats.CacheL1Hit++
+		} else {
+			c.stats.CacheL1Mis++
+			lat += g.L2Latency
+			if c.l2cache.Access(line) {
+				c.stats.CacheL2Hit++
+			} else {
+				c.stats.CacheL2Mis++
+				lat += g.MemLatency + c.extraMemCycles + c.dramQueueDelay()
+			}
+		}
+		if lat > worst {
+			worst = lat
+		}
+	}
+	if worst == 0 {
+		worst = 1
+	}
+	return worst
+}
+
+// issueQueueDelay charges one issue slot on sm and returns the queueing
+// delay behind earlier issues this cycle. With IssueSlotsPerCycle unset,
+// issue is unconstrained (the latency-only model).
+func (c *Cluster) issueQueueDelay(sm *SM) uint64 {
+	slots := uint64(c.cfg.GPU.IssueSlotsPerCycle)
+	if slots == 0 {
+		return 0
+	}
+	// The issue port is a server draining `slots` instructions per cycle,
+	// tracked in virtual time with 1/slots-cycle resolution.
+	nowSlots := c.eng.Now() * slots
+	vt := sm.issueFreeAt
+	if vt < nowSlots {
+		vt = nowSlots
+	}
+	vt++
+	sm.issueFreeAt = vt
+	return (vt - nowSlots) / slots
+}
+
+// dramQueueDelay charges one line's worth of DRAM channel occupancy and
+// returns the queueing delay this access suffers behind earlier misses.
+// With DRAMBytesPerCycle unset the channel is uncontended (fixed-latency
+// memory, the paper's model).
+func (c *Cluster) dramQueueDelay() uint64 {
+	bw := c.cfg.GPU.DRAMBytesPerCycle
+	if bw == 0 {
+		return 0
+	}
+	now := c.eng.Now()
+	start := c.dramFreeAt
+	if start < now {
+		start = now
+	}
+	occupancy := c.cfg.GPU.LineBytes / bw
+	if occupancy == 0 {
+		occupancy = 1
+	}
+	c.dramFreeAt = start + occupancy
+	return start - now
+}
+
+// PageArrived tells the GPU a page migration completed: warps waiting on
+// the page wake, replaying their faulted access once all their pages are
+// in.
+func (c *Cluster) PageArrived(page uint64) {
+	ws := c.waiters[page]
+	if ws == nil {
+		return
+	}
+	delete(c.waiters, page)
+	for _, w := range ws {
+		delete(w.pendingPgs, page)
+		if len(w.pendingPgs) > 0 {
+			continue
+		}
+		b := w.block
+		b.faultStalled--
+		w.state = WarpReady
+		if b.active {
+			c.issueWarp(w)
+		} else {
+			c.maybeSwitch(b.sm) // an inactive block just became ready
+		}
+	}
+}
+
+// PageDirty reports whether page was written since it became resident
+// (always true when dirty tracking is off: the conservative assumption the
+// paper's model makes).
+func (c *Cluster) PageDirty(page uint64) bool {
+	if c.dirty == nil {
+		return true
+	}
+	_, ok := c.dirty[page]
+	return ok
+}
+
+// ClearDirty resets a page's dirty bit (called when it is evicted or
+// re-migrated).
+func (c *Cluster) ClearDirty(page uint64) {
+	if c.dirty != nil {
+		delete(c.dirty, page)
+	}
+}
+
+// InvalidatePage performs the TLB shootdown and cache invalidation for an
+// evicted page.
+func (c *Cluster) InvalidatePage(page uint64) {
+	c.l2tlb.Invalidate(page)
+	pageBytes := c.cfg.UVM.PageBytes
+	lineBytes := c.cfg.GPU.LineBytes
+	c.l2cache.InvalidatePage(page, pageBytes, lineBytes)
+	for _, sm := range c.sms {
+		sm.l1tlb.Invalidate(page)
+		sm.l1cache.InvalidatePage(page, pageBytes, lineBytes)
+	}
+}
+
+// WaitingWarps returns the number of warps currently stalled on faults.
+func (c *Cluster) WaitingWarps() int {
+	n := 0
+	for _, ws := range c.waiters {
+		n += len(ws)
+	}
+	return n
+}
+
+// warpDone retires a warp and, if its block finished, retires the block.
+func (c *Cluster) warpDone(w *Warp) {
+	w.state = WarpDone
+	b := w.block
+	b.doneWarps++
+	if !b.finished() {
+		if c.traditionalSwitch {
+			c.maybeSwitch(b.sm)
+		}
+		return
+	}
+	c.blockDone(b)
+}
+
+// blockDone removes a finished block from its SM and backfills the slot.
+func (c *Cluster) blockDone(b *Block) {
+	sm := b.sm
+	removeBlock(&sm.active, b)
+	c.blocksDone++
+	if c.blocksDone == c.kernel.Blocks {
+		c.finishKernel()
+		return
+	}
+	// Prefer resuming a started inactive block over fetching a fresh one
+	// (a partially-run block holds pages resident and must not starve);
+	// maybeSwitch fills free slots from the inactive list first.
+	c.maybeSwitch(sm)
+	c.refillSM(sm)
+}
+
+func (c *Cluster) finishKernel() {
+	done := c.onKernelDone
+	c.kernel = nil
+	c.onKernelDone = nil
+	if done != nil {
+		done()
+	}
+}
+
+// activate moves an inactive block into the active set after the given
+// restore delay.
+func (c *Cluster) activate(sm *SM, b *Block, delay uint64) {
+	sm.active = append(sm.active, b)
+	run := func() {
+		b.active = true
+		c.startBlock(b)
+	}
+	if delay == 0 {
+		run()
+	} else {
+		c.stats.ContextSwitchCycles += delay
+		c.eng.After(delay, run)
+	}
+}
+
+// maybeSwitch performs thread-block context switching on sm when the
+// policy calls for it. Two cases:
+//
+//  1. A free active slot and a runnable inactive block: the block is
+//     restored into the slot (half a switch — restore only).
+//  2. An active block fully stalled (on faults, or on anything in
+//     traditional mode) and a runnable inactive block: a full save+restore
+//     swap. The victim freezes at switch start — its context is being
+//     saved, so wakeups landing mid-switch cannot issue.
+func (c *Cluster) maybeSwitch(sm *SM) {
+	if sm.switching || !sm.enabled {
+		return
+	}
+	// Fill free active slots from the inactive list first so resumed
+	// blocks never starve behind fresh dispatches.
+	for len(sm.active) < c.schedLimit {
+		ib := takeBestInactive(sm)
+		if ib == nil {
+			break
+		}
+		c.activate(sm, ib, c.switchCycles/2)
+	}
+	// Find a victim among active blocks.
+	var victim *Block
+	for _, b := range sm.active {
+		if !b.active {
+			continue // still restoring
+		}
+		stalled := b.fullyFaultStalled()
+		if c.traditionalSwitch {
+			stalled = b.fullyStalled()
+		}
+		if stalled {
+			victim = b
+			break
+		}
+	}
+	if victim == nil {
+		return
+	}
+	// Cooldown: a real warp scheduler spreads issue slots, so a block
+	// does not re-reach a fully-stalled state the instant a switch ends.
+	// Without this, stall-triggered switching (Figure 5 mode) pays a full
+	// switch per ~memory-latency window and degrades far past the ~2x the
+	// paper measures.
+	if sm.lastSwitchEnd > 0 && c.eng.Now() < sm.lastSwitchEnd+c.switchCycles {
+		return
+	}
+	incoming := takeBestInactive(sm)
+	if incoming == nil {
+		return
+	}
+	// Swap: the victim stops issuing now; the incoming block starts after
+	// the save+restore delay.
+	sm.switching = true
+	c.stats.ContextSwitches++
+	c.stats.ContextSwitchCycles += c.switchCycles
+	victim.active = false
+	removeBlock(&sm.active, victim)
+	sm.inactive = append(sm.inactive, victim)
+	sm.active = append(sm.active, incoming) // slot reserved during restore
+	c.eng.After(c.switchCycles, func() {
+		sm.switching = false
+		sm.lastSwitchEnd = c.eng.Now()
+		incoming.active = true
+		c.startBlock(incoming)
+		c.maybeSwitch(sm) // other active blocks may also be stalled
+	})
+}
+
+// takeBestInactive removes and returns the most runnable inactive block:
+// first preference is a previously-started block with a ready warp (it
+// holds pages resident), then a fresh block. Returns nil if nothing can
+// make progress.
+func takeBestInactive(sm *SM) *Block {
+	pick := -1
+	for i, b := range sm.inactive {
+		if !b.hasReadyWarp() {
+			continue
+		}
+		if b.started {
+			pick = i
+			break
+		}
+		if pick == -1 {
+			pick = i
+		}
+	}
+	if pick == -1 {
+		return nil
+	}
+	b := sm.inactive[pick]
+	sm.inactive = append(sm.inactive[:pick], sm.inactive[pick+1:]...)
+	return b
+}
+
+// SetSMEnabled implements ETC's memory-aware throttling: a disabled SM
+// stops issuing warp instructions; wakeups are deferred and flushed on
+// re-enable.
+func (c *Cluster) SetSMEnabled(id int, enabled bool) {
+	sm := c.sms[id]
+	if sm.enabled == enabled {
+		return
+	}
+	sm.enabled = enabled
+	if enabled {
+		deferred := sm.deferred
+		sm.deferred = nil
+		for _, w := range deferred {
+			if w.state == WarpReady || w.state == WarpBusy {
+				// Deferred warps were parked mid-issue; resume them.
+				w.state = WarpReady
+				c.issueWarp(w)
+			}
+		}
+		c.maybeSwitch(sm)
+		if c.kernel != nil {
+			c.refillSM(sm)
+		}
+	}
+}
+
+// EnabledSMs returns how many SMs are currently enabled.
+func (c *Cluster) EnabledSMs() int {
+	n := 0
+	for _, sm := range c.sms {
+		if sm.enabled {
+			n++
+		}
+	}
+	return n
+}
+
+func removeBlock(list *[]*Block, b *Block) {
+	for i, x := range *list {
+		if x == b {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return
+		}
+	}
+	panic("gpu: block not in list")
+}
+
+// uniqueKeys returns the distinct addr/granularity values, preserving
+// first-seen order (addresses per access are few, so O(n²) beats a map).
+func uniqueKeys(addrs []uint64, granularity uint64) []uint64 {
+	var out []uint64
+	for _, a := range addrs {
+		k := a / granularity
+		dup := false
+		for _, o := range out {
+			if o == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, k)
+		}
+	}
+	return out
+}

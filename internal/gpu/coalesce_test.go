@@ -1,0 +1,57 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniqueKeysCoalescing(t *testing.T) {
+	// 32 lanes reading consecutive 4-byte words coalesce into one 128B
+	// line and one page.
+	var addrs []uint64
+	for lane := 0; lane < 32; lane++ {
+		addrs = append(addrs, 0x1000+uint64(lane)*4)
+	}
+	if lines := uniqueKeys(addrs, 128); len(lines) != 1 {
+		t.Fatalf("consecutive words coalesced into %d lines, want 1", len(lines))
+	}
+	if pages := uniqueKeys(addrs, 64<<10); len(pages) != 1 {
+		t.Fatalf("consecutive words span %d pages, want 1", len(pages))
+	}
+}
+
+func TestUniqueKeysScattered(t *testing.T) {
+	// Fully divergent lanes: one line each.
+	var addrs []uint64
+	for lane := 0; lane < 32; lane++ {
+		addrs = append(addrs, uint64(lane)*4096)
+	}
+	if lines := uniqueKeys(addrs, 128); len(lines) != 32 {
+		t.Fatalf("scattered lanes coalesced into %d lines, want 32", len(lines))
+	}
+}
+
+func TestUniqueKeysProperties(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		keys := uniqueKeys(addrs, 128)
+		// No duplicates.
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		// Every address covered.
+		for _, a := range addrs {
+			if !seen[a/128] {
+				return false
+			}
+		}
+		// Never more keys than addresses.
+		return len(keys) <= len(addrs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package graph
+
+// Additional reference algorithms backing the extension workloads (CC, TC,
+// DC) that round out the GraphBIG suite beyond the eleven benchmarks the
+// paper evaluates.
+
+// CCRounds computes connected components (treating edges as undirected)
+// with hook-style label propagation: every vertex starts with its own ID;
+// each round, every vertex adopts the minimum label among itself and its
+// symmetric neighbors. It returns final labels and, per round, the
+// vertices whose label changed in that round.
+func CCRounds(g *CSR) (labels []uint32, rounds [][]uint32) {
+	n := g.NumVertices()
+	labels = make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	sym := symmetricAdjacency(g)
+	for {
+		var changed []uint32
+		next := make([]uint32, n)
+		copy(next, labels)
+		for v := 0; v < n; v++ {
+			min := labels[v]
+			for _, u := range sym[v] {
+				if labels[u] < min {
+					min = labels[u]
+				}
+			}
+			if min < labels[v] {
+				next[v] = min
+				changed = append(changed, uint32(v))
+			}
+		}
+		labels = next
+		if len(changed) == 0 {
+			return labels, rounds
+		}
+		rounds = append(rounds, changed)
+	}
+}
+
+// TriangleCount counts directed triangles v -> u -> w with an edge v -> w,
+// for v < u < w ordering on the adjacency intersection (the standard
+// forward counting on sorted CSR). It returns the total count and the
+// per-vertex counts.
+func TriangleCount(g *CSR) (total uint64, perVertex []uint64) {
+	n := g.NumVertices()
+	perVertex = make([]uint64, n)
+	for v := 0; v < n; v++ {
+		nv := g.Neighbors(uint32(v))
+		for _, u := range nv {
+			if int(u) <= v {
+				continue
+			}
+			nu := g.Neighbors(u)
+			// Sorted-merge intersection of nv and nu, counting common
+			// neighbors w > u.
+			i, j := 0, 0
+			for i < len(nv) && j < len(nu) {
+				a, b := nv[i], nu[j]
+				switch {
+				case a < b:
+					i++
+				case b < a:
+					j++
+				default:
+					if a > u {
+						total++
+						perVertex[v]++
+					}
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return total, perVertex
+}
+
+// DegreeCentrality returns the in+out degree of every vertex.
+func DegreeCentrality(g *CSR) []uint32 {
+	n := g.NumVertices()
+	deg := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		deg[v] += uint32(g.Degree(uint32(v)))
+		for _, u := range g.Neighbors(uint32(v)) {
+			deg[u]++
+		}
+	}
+	return deg
+}

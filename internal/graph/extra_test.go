@@ -1,0 +1,93 @@
+package graph
+
+import "testing"
+
+func TestCCTwoComponents(t *testing.T) {
+	// Component A: 0-1-2 (chain), component B: 3-4.
+	g := FromEdgeList(5,
+		[]uint32{0, 1, 3},
+		[]uint32{1, 2, 4},
+		[]uint32{1, 1, 1},
+	)
+	labels, rounds := CCRounds(g)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("component A labels = %v", labels[:3])
+	}
+	if labels[3] != labels[4] {
+		t.Fatalf("component B labels = %v", labels[3:])
+	}
+	if labels[0] == labels[3] {
+		t.Fatal("distinct components merged")
+	}
+	if len(rounds) == 0 {
+		t.Fatal("no propagation rounds recorded")
+	}
+}
+
+func TestCCSingleton(t *testing.T) {
+	g := FromEdgeList(3, nil, nil, nil)
+	labels, rounds := CCRounds(g)
+	for v, l := range labels {
+		if l != uint32(v) {
+			t.Fatalf("isolated vertex %d got label %d", v, l)
+		}
+	}
+	if len(rounds) != 0 {
+		t.Fatalf("isolated graph produced %d rounds", len(rounds))
+	}
+}
+
+func TestCCLabelsAreComponentMinima(t *testing.T) {
+	g := RMAT(GenConfig{Vertices: 300, EdgesPer: 4, Seed: 6})
+	labels, _ := CCRounds(g)
+	// Every vertex's label must be <= its own ID (labels flow downhill)
+	// and equal to its neighbors' labels (undirected connectivity).
+	for v := 0; v < g.NumVertices(); v++ {
+		if labels[v] > uint32(v) {
+			t.Fatalf("label[%d] = %d > id", v, labels[v])
+		}
+		for _, u := range g.Neighbors(uint32(v)) {
+			if labels[u] != labels[uint32(v)] {
+				t.Fatalf("edge %d->%d crosses labels %d/%d", v, u, labels[v], labels[u])
+			}
+		}
+	}
+}
+
+func TestTriangleCountKnown(t *testing.T) {
+	// Triangle 0->1, 1->2, 0->2 plus a dangling edge 2->3.
+	g := FromEdgeList(4,
+		[]uint32{0, 1, 0, 2},
+		[]uint32{1, 2, 2, 3},
+		[]uint32{1, 1, 1, 1},
+	)
+	total, per := TriangleCount(g)
+	if total != 1 {
+		t.Fatalf("triangles = %d, want 1", total)
+	}
+	if per[0] != 1 {
+		t.Fatalf("perVertex[0] = %d, want 1", per[0])
+	}
+}
+
+func TestTriangleCountNoTriangles(t *testing.T) {
+	g := chain(10)
+	if total, _ := TriangleCount(g); total != 0 {
+		t.Fatalf("chain has %d triangles", total)
+	}
+}
+
+func TestDegreeCentrality(t *testing.T) {
+	g := FromEdgeList(3,
+		[]uint32{0, 0, 1},
+		[]uint32{1, 2, 2},
+		[]uint32{1, 1, 1},
+	)
+	deg := DegreeCentrality(g)
+	want := []uint32{2, 2, 2} // 0: out 2; 1: in 1 out 1; 2: in 2
+	for v := range want {
+		if deg[v] != want[v] {
+			t.Fatalf("degree[%d] = %d, want %d", v, deg[v], want[v])
+		}
+	}
+}

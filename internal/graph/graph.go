@@ -1,0 +1,223 @@
+// Package graph provides the compressed-sparse-row graph representation and
+// the synthetic graph generators used as workload inputs.
+//
+// The paper evaluates GraphBIG workloads on (truncated) real-world datasets.
+// Those datasets are not available offline, so this package substitutes
+// synthetic graphs: RMAT (Kronecker-style power-law) graphs reproduce the
+// skewed degree distributions and poor access locality that make graph
+// workloads irregular, and uniform random graphs provide a locality
+// control. See DESIGN.md §4.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"uvmsim/internal/sim"
+)
+
+// CSR is a directed graph in compressed-sparse-row form. Vertex IDs are
+// dense in [0, NumVertices). Edges out of vertex v are
+// Edges[Offsets[v]:Offsets[v+1]], with per-edge weights in the parallel
+// Weights slice.
+type CSR struct {
+	Offsets []uint32 // len NumVertices+1
+	Edges   []uint32 // len NumEdges
+	Weights []uint32 // len NumEdges; 1 for unweighted graphs
+}
+
+// NumVertices returns the vertex count.
+func (g *CSR) NumVertices() int { return len(g.Offsets) - 1 }
+
+// NumEdges returns the directed edge count.
+func (g *CSR) NumEdges() int { return len(g.Edges) }
+
+// Degree returns the out-degree of v.
+func (g *CSR) Degree(v uint32) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the slice of destinations of edges out of v. The slice
+// aliases the graph's storage and must not be modified.
+func (g *CSR) Neighbors(v uint32) []uint32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// EdgeRange returns the [begin, end) indices into Edges for vertex v.
+func (g *CSR) EdgeRange(v uint32) (begin, end uint32) {
+	return g.Offsets[v], g.Offsets[v+1]
+}
+
+// MaxDegree returns the largest out-degree in the graph, and the vertex
+// that has it.
+func (g *CSR) MaxDegree() (vertex uint32, degree int) {
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(uint32(v)); d > degree {
+			degree = d
+			vertex = uint32(v)
+		}
+	}
+	return vertex, degree
+}
+
+// Validate checks structural invariants and returns a descriptive error on
+// the first violation.
+func (g *CSR) Validate() error {
+	if len(g.Offsets) == 0 {
+		return fmt.Errorf("graph: empty offsets array")
+	}
+	if g.Offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.Offsets[0])
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			return fmt.Errorf("graph: offsets not monotonic at vertex %d", v)
+		}
+	}
+	if int(g.Offsets[n]) != len(g.Edges) {
+		return fmt.Errorf("graph: offsets[n] = %d but %d edges", g.Offsets[n], len(g.Edges))
+	}
+	if len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("graph: %d weights for %d edges", len(g.Weights), len(g.Edges))
+	}
+	for i, dst := range g.Edges {
+		if int(dst) >= n {
+			return fmt.Errorf("graph: edge %d targets vertex %d >= %d", i, dst, n)
+		}
+	}
+	return nil
+}
+
+// FromEdgeList builds a CSR graph with n vertices from (src, dst, weight)
+// triples. Edges are sorted by (src, dst); duplicates are kept (multigraph
+// semantics match the generators, which deduplicate themselves when asked).
+func FromEdgeList(n int, src, dst, w []uint32) *CSR {
+	if len(src) != len(dst) || len(src) != len(w) {
+		panic("graph: mismatched edge list slices")
+	}
+	idx := make([]int, len(src))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if src[ia] != src[ib] {
+			return src[ia] < src[ib]
+		}
+		return dst[ia] < dst[ib]
+	})
+	g := &CSR{
+		Offsets: make([]uint32, n+1),
+		Edges:   make([]uint32, len(src)),
+		Weights: make([]uint32, len(src)),
+	}
+	for _, i := range idx {
+		g.Offsets[src[i]+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.Offsets[v+1] += g.Offsets[v]
+	}
+	cursor := make([]uint32, n)
+	for _, i := range idx {
+		p := g.Offsets[src[i]] + cursor[src[i]]
+		g.Edges[p] = dst[i]
+		g.Weights[p] = w[i]
+		cursor[src[i]]++
+	}
+	return g
+}
+
+// GenConfig parameterizes the synthetic generators.
+type GenConfig struct {
+	Vertices int    // number of vertices (RMAT rounds up to a power of two)
+	EdgesPer int    // average directed edges per vertex
+	Seed     uint64 // PRNG seed
+	Weighted bool   // random weights in [1, 64] instead of all-1
+}
+
+// RMAT generates a power-law graph with the classic R-MAT partition
+// probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05), the Graph500
+// parameters. The result has skewed degrees: a few very-high-degree hub
+// vertices and a long tail, which is what defeats page locality in the
+// irregular workloads.
+func RMAT(cfg GenConfig) *CSR {
+	n := 1
+	for n < cfg.Vertices {
+		n <<= 1
+	}
+	scale := 0
+	for 1<<scale < n {
+		scale++
+	}
+	m := cfg.Vertices * cfg.EdgesPer
+	r := sim.NewRand(cfg.Seed)
+	src := make([]uint32, m)
+	dst := make([]uint32, m)
+	w := make([]uint32, m)
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		var u, v uint32
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// upper-left: neither bit set
+			case p < a+b:
+				v |= 1 << bit
+			case p < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		// Fold vertices beyond the requested count back into range so the
+		// caller gets exactly cfg.Vertices vertices.
+		src[i] = u % uint32(cfg.Vertices)
+		dst[i] = v % uint32(cfg.Vertices)
+		w[i] = weightFor(r, cfg.Weighted)
+	}
+	return FromEdgeList(cfg.Vertices, src, dst, w)
+}
+
+// Uniform generates an Erdős–Rényi-style random graph with m = Vertices ×
+// EdgesPer directed edges chosen uniformly.
+func Uniform(cfg GenConfig) *CSR {
+	m := cfg.Vertices * cfg.EdgesPer
+	r := sim.NewRand(cfg.Seed)
+	src := make([]uint32, m)
+	dst := make([]uint32, m)
+	w := make([]uint32, m)
+	for i := 0; i < m; i++ {
+		src[i] = uint32(r.Intn(cfg.Vertices))
+		dst[i] = uint32(r.Intn(cfg.Vertices))
+		w[i] = weightFor(r, cfg.Weighted)
+	}
+	return FromEdgeList(cfg.Vertices, src, dst, w)
+}
+
+func weightFor(r *sim.Rand, weighted bool) uint32 {
+	if !weighted {
+		return 1
+	}
+	return uint32(r.Intn(64)) + 1
+}
+
+// DegreeHistogram returns counts of vertices bucketed by log2(degree+1);
+// bucket i counts vertices with degree in [2^i - 1, 2^(i+1) - 1).
+func DegreeHistogram(g *CSR) []int {
+	var hist []int
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(uint32(v))
+		bucket := 0
+		for (1<<uint(bucket+1))-1 <= d {
+			bucket++
+		}
+		for len(hist) <= bucket {
+			hist = append(hist, 0)
+		}
+		hist[bucket]++
+	}
+	return hist
+}

@@ -1,0 +1,90 @@
+package metrics
+
+// Summary is the JSON-friendly aggregate view of a run's statistics, used
+// by cmd/uvmsim -json and by downstream tooling.
+type Summary struct {
+	Cycles uint64 `json:"cycles"`
+	Instrs uint64 `json:"warp_instructions"`
+
+	Batches                   int     `json:"batches"`
+	MeanBatchPages            float64 `json:"mean_batch_pages"`
+	MeanBatchBytes            float64 `json:"mean_batch_bytes"`
+	MeanBatchProcessingTime   float64 `json:"mean_batch_processing_cycles"`
+	MedianBatchProcessingTime float64 `json:"median_batch_processing_cycles"`
+
+	FaultsRaised   uint64  `json:"faults_raised"`
+	Migrations     uint64  `json:"migrations"`
+	Prefetches     uint64  `json:"prefetches"`
+	Evictions      uint64  `json:"evictions"`
+	PrematureRate  float64 `json:"premature_eviction_rate"`
+	RunaheadFaults uint64  `json:"runahead_faults"`
+
+	ContextSwitches     uint64 `json:"context_switches"`
+	ContextSwitchCycles uint64 `json:"context_switch_cycles"`
+
+	TLBL1Hits  uint64 `json:"tlb_l1_hits"`
+	TLBL1Miss  uint64 `json:"tlb_l1_misses"`
+	TLBL2Hits  uint64 `json:"tlb_l2_hits"`
+	TLBL2Miss  uint64 `json:"tlb_l2_misses"`
+	CacheL1Hit uint64 `json:"cache_l1_hits"`
+	CacheL1Mis uint64 `json:"cache_l1_misses"`
+	CacheL2Hit uint64 `json:"cache_l2_hits"`
+	CacheL2Mis uint64 `json:"cache_l2_misses"`
+}
+
+// BatchRecord is the JSON view of one batch.
+type BatchRecord struct {
+	Start          uint64 `json:"start_cycle"`
+	FirstMigration uint64 `json:"first_migration_cycle"`
+	End            uint64 `json:"end_cycle"`
+	Faults         int    `json:"faults"`
+	Pages          int    `json:"pages"`
+	Bytes          uint64 `json:"bytes"`
+	Evictions      int    `json:"evictions"`
+}
+
+// Summary collapses the stats into the exportable aggregate view.
+func (s *Stats) Summary() Summary {
+	return Summary{
+		Cycles:                    s.Cycles,
+		Instrs:                    s.Instrs,
+		Batches:                   s.NumBatches(),
+		MeanBatchPages:            s.MeanBatchPages(),
+		MeanBatchBytes:            s.MeanBatchBytes(),
+		MeanBatchProcessingTime:   s.MeanBatchProcessingTime(),
+		MedianBatchProcessingTime: s.MedianBatchProcessingTime(),
+		FaultsRaised:              s.FaultsRaised,
+		Migrations:                s.Migrations,
+		Prefetches:                s.Prefetches,
+		Evictions:                 s.Evictions,
+		PrematureRate:             s.PrematureEvictionRate(),
+		RunaheadFaults:            s.RunaheadFaults,
+		ContextSwitches:           s.ContextSwitches,
+		ContextSwitchCycles:       s.ContextSwitchCycles,
+		TLBL1Hits:                 s.TLBL1Hits,
+		TLBL1Miss:                 s.TLBL1Miss,
+		TLBL2Hits:                 s.TLBL2Hits,
+		TLBL2Miss:                 s.TLBL2Miss,
+		CacheL1Hit:                s.CacheL1Hit,
+		CacheL1Mis:                s.CacheL1Mis,
+		CacheL2Hit:                s.CacheL2Hit,
+		CacheL2Mis:                s.CacheL2Mis,
+	}
+}
+
+// BatchRecords exports the batch timeline.
+func (s *Stats) BatchRecords() []BatchRecord {
+	out := make([]BatchRecord, len(s.Batches))
+	for i, b := range s.Batches {
+		out[i] = BatchRecord{
+			Start:          b.Start,
+			FirstMigration: b.FirstMigration,
+			End:            b.End,
+			Faults:         b.Faults,
+			Pages:          b.Pages,
+			Bytes:          b.Bytes,
+			Evictions:      b.Evictions,
+		}
+	}
+	return out
+}

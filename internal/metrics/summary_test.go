@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSummaryRoundTrip(t *testing.T) {
+	var s Stats
+	s.Cycles = 1234
+	s.Instrs = 99
+	s.Migrations = 10
+	s.Evictions = 4
+	s.PrematureEv = 1
+	s.RecordBatch(Batch{Start: 0, FirstMigration: 20, End: 100, Faults: 2, Pages: 3, Bytes: 3 * 65536})
+	sum := s.Summary()
+	if sum.Cycles != 1234 || sum.Batches != 1 || sum.MeanBatchPages != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.PrematureRate != 0.25 {
+		t.Fatalf("premature rate = %v", sum.PrematureRate)
+	}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != sum {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, sum)
+	}
+}
+
+func TestBatchRecords(t *testing.T) {
+	var s Stats
+	s.RecordBatch(Batch{Start: 1, FirstMigration: 2, End: 3, Faults: 4, Pages: 5, Bytes: 6, Evictions: 7})
+	recs := s.BatchRecords()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.Start != 1 || r.FirstMigration != 2 || r.End != 3 || r.Faults != 4 ||
+		r.Pages != 5 || r.Bytes != 6 || r.Evictions != 7 {
+		t.Fatalf("record = %+v", r)
+	}
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty JSON")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	var s Stats
+	s.RecordBatch(Batch{Start: 0, FirstMigration: 20000, End: 100000, Faults: 4, Pages: 8})
+	s.RecordBatch(Batch{Start: 150000, FirstMigration: 170000, End: 300000, Faults: 2, Pages: 4})
+	var buf strings.Builder
+	if err := RenderTimeline(&buf, s.Batches, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2 batches", "h", "m", "4 faults"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Lines must be axis-aligned: both batch rows have the same width.
+	var rows []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "|") {
+			rows = append(rows, l)
+		}
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 batch rows, got %d", len(rows))
+	}
+	if i, j := strings.LastIndex(rows[0], "|"), strings.LastIndex(rows[1], "|"); i != j {
+		t.Fatalf("rows misaligned:\n%s\n%s", rows[0], rows[1])
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	var buf strings.Builder
+	if err := RenderTimeline(&buf, nil, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no batches") {
+		t.Fatal("empty timeline not reported")
+	}
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderTimeline draws the batch timeline as ASCII art — the view of
+// Figure 2 of the paper: for each batch, the GPU-runtime fault handling
+// window ('h') followed by the migration window ('m'), positioned on a
+// common time axis. Gaps between batches are GPU-only execution.
+//
+// width is the number of columns the full time span is scaled to.
+func RenderTimeline(w io.Writer, batches []Batch, width int) error {
+	if len(batches) == 0 {
+		_, err := fmt.Fprintln(w, "(no batches)")
+		return err
+	}
+	if width < 20 {
+		width = 20
+	}
+	t0 := batches[0].Start
+	t1 := batches[len(batches)-1].End
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	span := float64(t1 - t0)
+	col := func(cycle uint64) int {
+		c := int(float64(cycle-t0) / span * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	if _, err := fmt.Fprintf(w, "time: %d .. %d cycles (%.2f ms), %d batches\n",
+		t0, t1, span/1e6, len(batches)); err != nil {
+		return err
+	}
+	for i, b := range batches {
+		line := make([]byte, width)
+		for j := range line {
+			line[j] = '.'
+		}
+		hStart, hEnd := col(b.Start), col(b.FirstMigration)
+		mEnd := col(b.End)
+		for j := hStart; j <= hEnd && j < width; j++ {
+			line[j] = 'h'
+		}
+		for j := hEnd + 1; j <= mEnd && j < width; j++ {
+			line[j] = 'm'
+		}
+		if _, err := fmt.Fprintf(w, "%4d |%s| %3d faults %4d pages\n",
+			i, string(line), b.Faults, b.Pages); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, strings.Repeat(" ", 6)+"h = GPU runtime fault handling, m = page migrations, . = idle/execution")
+	return err
+}

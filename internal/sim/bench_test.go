@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleDispatch(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(uint64(i%64), func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	// Throughput with a standing queue of 10k events, the typical depth
+	// of a busy simulation.
+	e := NewEngine()
+	for i := 0; i < 10_000; i++ {
+		e.After(uint64(i), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(10_000+uint64(i), func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

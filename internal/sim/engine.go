@@ -1,0 +1,130 @@
+// Package sim provides the discrete-event simulation core used by the GPU,
+// MMU, and UVM runtime models.
+//
+// Time is measured in cycles of the GPU core clock (1 GHz in the default
+// configuration, so one cycle is one nanosecond). Components interact by
+// scheduling callbacks on a shared Engine; the engine dispatches events in
+// nondecreasing cycle order and, for equal cycles, in scheduling order
+// (FIFO), which keeps simulations deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, in GPU core cycles.
+type Cycle = uint64
+
+// Event is a scheduled callback.
+type event struct {
+	when Cycle
+	seq  uint64 // tie-breaker: preserves FIFO order for equal cycles
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not ready
+// to use; call NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	queue  eventHeap
+	nEvent uint64 // total events dispatched
+}
+
+// NewEngine returns an engine with the clock at cycle zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Dispatched returns the total number of events dispatched so far.
+func (e *Engine) Dispatched() uint64 { return e.nEvent }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at the given absolute cycle. Scheduling in the past
+// panics: it always indicates a modeling bug.
+func (e *Engine) Schedule(when Cycle, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: schedule at cycle %d before now %d", when, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{when: when, seq: e.seq, fn: fn})
+}
+
+// After runs fn delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func()) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Step dispatches the next event, advancing the clock to its cycle.
+// It reports whether an event was dispatched.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.when
+	e.nEvent++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty and returns the final
+// cycle.
+func (e *Engine) Run() Cycle {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil dispatches events until the queue is empty or the clock would
+// pass the limit. Events scheduled exactly at the limit are dispatched. It
+// reports whether the queue was drained.
+func (e *Engine) RunUntil(limit Cycle) bool {
+	for len(e.queue) > 0 {
+		if e.queue[0].when > limit {
+			return false
+		}
+		e.Step()
+	}
+	return true
+}
+
+// RunFor dispatches up to n events and reports how many were dispatched.
+// It is mainly a guard against accidental infinite simulations in tests.
+func (e *Engine) RunFor(n uint64) uint64 {
+	var i uint64
+	for ; i < n; i++ {
+		if !e.Step() {
+			break
+		}
+	}
+	return i
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	if got := e.Run(); got != 0 {
+		t.Fatalf("Run on empty engine returned cycle %d, want 0", got)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine reported an event")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("event order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final cycle = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOForEqualCycles(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-cycle events dispatched out of order at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Cycle
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested events at %v, want [10 15]", hits)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineSameCycleAllowed(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(10, func() {
+		e.Schedule(10, func() { ran = true })
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("same-cycle event scheduled from within an event did not run")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Cycle
+	for _, c := range []Cycle{5, 10, 15, 20} {
+		c := c
+		e.Schedule(c, func() { got = append(got, c) })
+	}
+	if drained := e.RunUntil(12); drained {
+		t.Fatal("RunUntil(12) reported drained with events at 15, 20 pending")
+	}
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(12) dispatched %d events, want 2", len(got))
+	}
+	// An event exactly at the limit is dispatched.
+	if drained := e.RunUntil(15); drained {
+		t.Fatal("RunUntil(15) reported drained with event at 20 pending")
+	}
+	if len(got) != 3 || got[2] != 15 {
+		t.Fatalf("after RunUntil(15), dispatched = %v", got)
+	}
+	if drained := e.RunUntil(100); !drained {
+		t.Fatal("RunUntil(100) did not drain the queue")
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Schedule(Cycle(i), func() {})
+	}
+	if n := e.RunFor(4); n != 4 {
+		t.Fatalf("RunFor(4) = %d", n)
+	}
+	if n := e.RunFor(100); n != 6 {
+		t.Fatalf("RunFor(100) after 4 = %d, want 6", n)
+	}
+	if e.Dispatched() != 10 {
+		t.Fatalf("Dispatched = %d, want 10", e.Dispatched())
+	}
+}
+
+func TestEngineDispatchOrderProperty(t *testing.T) {
+	// Property: for any set of scheduled cycles, dispatch times are
+	// observed in nondecreasing order and the clock never runs backward.
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []Cycle
+		for _, d := range delays {
+			c := Cycle(d)
+			e.Schedule(c, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package trace
+
+// Binary serialization of workload traces. The format lets externally
+// captured traces (e.g. converted from an instrumentation tool on a real
+// GPU) be replayed through the simulator, and lets generated workloads be
+// snapshotted so runs skip host-side algorithm replay.
+//
+// Layout (all integers varint-encoded except the magic):
+//
+//	magic "UVMTRC1\n"
+//	name length, name bytes
+//	pageBytes, footprintBytes
+//	irregular flag (0/1)
+//	kernel count, then per kernel:
+//	  name, blocks, threadsPerBlock, regsPerThread
+//	  per (block, warp): access count, then per access:
+//	    computeCycles, storeFlag, lane count, lane address deltas
+//	    (first lane absolute, following lanes delta-encoded)
+//
+// Decoding materializes every stream in memory; the format is intended
+// for workload-scale traces (tens of millions of accesses), not
+// full-application captures.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"uvmsim/internal/layout"
+)
+
+var traceMagic = []byte("UVMTRC1\n")
+
+// EncodeWorkload drains every warp stream of w and writes the trace to
+// out. Streams must be pure (they are re-created afterwards as usual).
+func EncodeWorkload(w *Workload, out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	if _, err := bw.Write(traceMagic); err != nil {
+		return err
+	}
+	putU := func(v uint64) { putUvarint(bw, v) }
+	putS := func(s string) {
+		putU(uint64(len(s)))
+		bw.WriteString(s)
+	}
+	putS(w.Name)
+	putU(w.Space.PageBytes())
+	putU(w.Space.FootprintBytes())
+	if w.Irregular {
+		putU(1)
+	} else {
+		putU(0)
+	}
+	putU(uint64(len(w.Kernels)))
+	for _, k := range w.Kernels {
+		putS(k.Name)
+		putU(uint64(k.Blocks))
+		putU(uint64(k.ThreadsPerBlock))
+		putU(uint64(k.RegsPerThread))
+		for b := 0; b < k.Blocks; b++ {
+			for wp := 0; wp < k.WarpsPerBlock(32); wp++ {
+				st := k.NewWarpStream(b, wp)
+				var accs []Access
+				for {
+					a, ok := st.Next()
+					if !ok {
+						break
+					}
+					accs = append(accs, a)
+				}
+				putU(uint64(len(accs)))
+				for _, a := range accs {
+					putU(a.ComputeCycles)
+					if a.Store {
+						putU(1)
+					} else {
+						putU(0)
+					}
+					putU(uint64(len(a.Addrs)))
+					var prev uint64
+					for i, addr := range a.Addrs {
+						if i == 0 {
+							putU(addr)
+						} else {
+							putU(zigzag(int64(addr) - int64(prev)))
+						}
+						prev = addr
+					}
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeWorkload reads a trace written by EncodeWorkload. The returned
+// workload's Space is a synthetic single-allocation space with the
+// recorded footprint (addresses are replayed verbatim).
+func DecodeWorkload(in io.Reader) (*Workload, error) {
+	br := bufio.NewReader(in)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != string(traceMagic) {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getS := func() (string, error) {
+		n, err := getU()
+		if err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	name, err := getS()
+	if err != nil {
+		return nil, err
+	}
+	pageBytes, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	footprint, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	irregularFlag, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	sp := layout.NewSpace(pageBytes)
+	if footprint > 0 {
+		sp.Alloc("trace", 1, int(footprint))
+	}
+	nKernels, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{Name: name, Space: sp, Irregular: irregularFlag == 1}
+	for ki := uint64(0); ki < nKernels; ki++ {
+		kname, err := getS()
+		if err != nil {
+			return nil, err
+		}
+		blocks, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		tpb, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		regs, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		k := Kernel{
+			Name:            kname,
+			Blocks:          int(blocks),
+			ThreadsPerBlock: int(tpb),
+			RegsPerThread:   int(regs),
+		}
+		warpsPerBlock := k.WarpsPerBlock(32)
+		streams := make([][]Access, k.Blocks*warpsPerBlock)
+		for b := 0; b < k.Blocks; b++ {
+			for wp := 0; wp < warpsPerBlock; wp++ {
+				nAcc, err := getU()
+				if err != nil {
+					return nil, err
+				}
+				accs := make([]Access, 0, nAcc)
+				for ai := uint64(0); ai < nAcc; ai++ {
+					compute, err := getU()
+					if err != nil {
+						return nil, err
+					}
+					storeFlag, err := getU()
+					if err != nil {
+						return nil, err
+					}
+					nLanes, err := getU()
+					if err != nil {
+						return nil, err
+					}
+					addrs := make([]uint64, nLanes)
+					var prev uint64
+					for li := uint64(0); li < nLanes; li++ {
+						raw, err := getU()
+						if err != nil {
+							return nil, err
+						}
+						if li == 0 {
+							addrs[li] = raw
+						} else {
+							addrs[li] = uint64(int64(prev) + unzigzag(raw))
+						}
+						prev = addrs[li]
+					}
+					accs = append(accs, Access{
+						ComputeCycles: compute,
+						Addrs:         addrs,
+						Store:         storeFlag == 1,
+					})
+				}
+				streams[b*warpsPerBlock+wp] = accs
+			}
+		}
+		k.NewWarpStream = func(block, warp int) WarpStream {
+			return NewSliceStream(streams[block*warpsPerBlock+warp])
+		}
+		w.Kernels = append(w.Kernels, k)
+	}
+	return w, nil
+}
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"uvmsim/internal/layout"
+)
+
+// sampleWorkload builds a small two-kernel workload with divergent lane
+// counts and stores.
+func sampleWorkload() *Workload {
+	sp := layout.NewSpace(64 << 10)
+	arr := sp.Alloc("data", 4, 1<<16)
+	mk := func(name string, blocks int) Kernel {
+		return Kernel{
+			Name:            name,
+			Blocks:          blocks,
+			ThreadsPerBlock: 64,
+			RegsPerThread:   24,
+			NewWarpStream: func(block, warp int) WarpStream {
+				return NewSliceStream([]Access{
+					{ComputeCycles: 3, Addrs: []uint64{arr.Addr(block * 100), arr.Addr(block*100 + 1)}},
+					{ComputeCycles: 1},
+					{ComputeCycles: 9, Addrs: []uint64{arr.Addr(warp)}, Store: true},
+				})
+			},
+		}
+	}
+	return &Workload{
+		Name:      "sample",
+		Space:     sp,
+		Kernels:   []Kernel{mk("k0", 3), mk("k1", 1)},
+		Irregular: true,
+	}
+}
+
+func drainAll(w *Workload) []Access {
+	var out []Access
+	for _, k := range w.Kernels {
+		for b := 0; b < k.Blocks; b++ {
+			for wp := 0; wp < k.WarpsPerBlock(32); wp++ {
+				st := k.NewWarpStream(b, wp)
+				for {
+					a, ok := st.Next()
+					if !ok {
+						break
+					}
+					out = append(out, a)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	w := sampleWorkload()
+	var buf bytes.Buffer
+	if err := EncodeWorkload(w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != w.Name || got.Irregular != w.Irregular {
+		t.Fatalf("metadata mismatch: %q/%v", got.Name, got.Irregular)
+	}
+	if got.FootprintBytes() != w.FootprintBytes() {
+		t.Fatalf("footprint %d != %d", got.FootprintBytes(), w.FootprintBytes())
+	}
+	if len(got.Kernels) != len(w.Kernels) {
+		t.Fatalf("kernels %d != %d", len(got.Kernels), len(w.Kernels))
+	}
+	a, b := drainAll(w), drainAll(got)
+	if len(a) != len(b) {
+		t.Fatalf("access counts %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ComputeCycles != b[i].ComputeCycles || a[i].Store != b[i].Store {
+			t.Fatalf("access %d meta mismatch: %+v vs %+v", i, a[i], b[i])
+		}
+		if len(a[i].Addrs) != len(b[i].Addrs) {
+			t.Fatalf("access %d lanes %d != %d", i, len(a[i].Addrs), len(b[i].Addrs))
+		}
+		for j := range a[i].Addrs {
+			if a[i].Addrs[j] != b[i].Addrs[j] {
+				t.Fatalf("access %d lane %d: %#x != %#x", i, j, a[i].Addrs[j], b[i].Addrs[j])
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, err := DecodeWorkload(strings.NewReader("NOTATRACE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	w := sampleWorkload()
+	var buf bytes.Buffer
+	if err := EncodeWorkload(w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(traceMagic), len(data) / 2, len(data) - 1} {
+		if _, err := DecodeWorkload(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package trace defines the interface between workload models and the GPU
+// simulator: a workload is a sequence of kernel launches, and each kernel
+// provides, for every warp of every thread block, the stream of
+// instructions (compute delays and per-lane memory addresses) the warp
+// executes. The GPU model consumes these streams; the workload package
+// produces them by replaying the GraphBIG algorithms over laid-out data
+// structures.
+package trace
+
+import "uvmsim/internal/layout"
+
+// Access is one warp instruction. ComputeCycles models the arithmetic work
+// issued before the (optional) memory operation; Addrs holds the per-lane
+// byte addresses of the memory operation, one per active lane (inactive
+// lanes are simply absent — SIMT divergence shrinks the slice).
+type Access struct {
+	ComputeCycles uint64
+	Addrs         []uint64
+	Store         bool
+}
+
+// IsMemory reports whether the instruction accesses memory.
+func (a Access) IsMemory() bool { return len(a.Addrs) > 0 }
+
+// WarpStream yields a warp's instructions in program order.
+type WarpStream interface {
+	// Next returns the next instruction; ok is false at stream end.
+	Next() (acc Access, ok bool)
+}
+
+// Peeker is an optional WarpStream extension that lets the GPU look at
+// upcoming instructions without consuming them — the hook used by the
+// runahead fault-generation mechanism (an idealized form of the
+// alternative Section 4.1 of the paper discusses and sets aside).
+type Peeker interface {
+	// PeekAhead returns the i-th upcoming instruction (0 = the one Next
+	// would return); ok is false past the end of the stream.
+	PeekAhead(i int) (acc Access, ok bool)
+}
+
+// Kernel is one GPU kernel launch.
+type Kernel struct {
+	Name            string
+	Blocks          int
+	ThreadsPerBlock int
+	RegsPerThread   int
+	// NewWarpStream returns a fresh instruction stream for the given warp
+	// of the given block. Streams must be pure: the simulator (and the
+	// working-set analyzer) may create them any number of times.
+	NewWarpStream func(block, warp int) WarpStream
+}
+
+// WarpsPerBlock returns the number of warps a block occupies for the given
+// warp size.
+func (k Kernel) WarpsPerBlock(warpSize int) int {
+	return (k.ThreadsPerBlock + warpSize - 1) / warpSize
+}
+
+// Workload is a complete benchmark: its address-space layout plus the
+// kernels launched against it, in order.
+type Workload struct {
+	Name    string
+	Space   *layout.Space
+	Kernels []Kernel
+	// Irregular marks graph-style workloads whose pages are shared across
+	// thread blocks (Figure 1's distinction).
+	Irregular bool
+}
+
+// FootprintPages returns the workload's memory footprint in pages.
+func (w *Workload) FootprintPages() int { return w.Space.FootprintPages() }
+
+// FootprintBytes returns the workload's memory footprint in bytes.
+func (w *Workload) FootprintBytes() uint64 { return w.Space.FootprintBytes() }
+
+// SliceStream is a WarpStream over a pre-built instruction slice.
+type SliceStream struct {
+	accs []Access
+	pos  int
+}
+
+// NewSliceStream wraps a slice of instructions.
+func NewSliceStream(accs []Access) *SliceStream { return &SliceStream{accs: accs} }
+
+// Next implements WarpStream.
+func (s *SliceStream) Next() (Access, bool) {
+	if s.pos >= len(s.accs) {
+		return Access{}, false
+	}
+	a := s.accs[s.pos]
+	s.pos++
+	return a, true
+}
+
+// PeekAhead implements Peeker.
+func (s *SliceStream) PeekAhead(i int) (Access, bool) {
+	if i < 0 || s.pos+i >= len(s.accs) {
+		return Access{}, false
+	}
+	return s.accs[s.pos+i], true
+}
+
+// PagesTouched drains a fresh stream for every warp of the given block and
+// returns the set of pages the block touches. Used by the Figure 1
+// working-set analysis and by tests.
+func PagesTouched(k Kernel, block, warpSize int, pageBytes uint64) map[uint64]struct{} {
+	pages := make(map[uint64]struct{})
+	for w := 0; w < k.WarpsPerBlock(warpSize); w++ {
+		st := k.NewWarpStream(block, w)
+		for {
+			acc, ok := st.Next()
+			if !ok {
+				break
+			}
+			for _, a := range acc.Addrs {
+				pages[a/pageBytes] = struct{}{}
+			}
+		}
+	}
+	return pages
+}

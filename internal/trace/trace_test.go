@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"testing"
+
+	"uvmsim/internal/layout"
+)
+
+func TestSliceStream(t *testing.T) {
+	accs := []Access{
+		{ComputeCycles: 1, Addrs: []uint64{10}},
+		{ComputeCycles: 2},
+	}
+	s := NewSliceStream(accs)
+	a, ok := s.Next()
+	if !ok || a.ComputeCycles != 1 || !a.IsMemory() {
+		t.Fatalf("first access = %+v (%v)", a, ok)
+	}
+	a, ok = s.Next()
+	if !ok || a.IsMemory() {
+		t.Fatalf("second access = %+v (%v)", a, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream did not end")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted stream yielded again")
+	}
+}
+
+func TestWarpsPerBlock(t *testing.T) {
+	cases := []struct {
+		threads, warpSize, want int
+	}{
+		{1024, 32, 32},
+		{256, 32, 8},
+		{33, 32, 2},
+		{1, 32, 1},
+	}
+	for _, c := range cases {
+		k := Kernel{ThreadsPerBlock: c.threads}
+		if got := k.WarpsPerBlock(c.warpSize); got != c.want {
+			t.Errorf("WarpsPerBlock(%d/%d) = %d, want %d", c.threads, c.warpSize, got, c.want)
+		}
+	}
+}
+
+func TestPagesTouched(t *testing.T) {
+	k := Kernel{
+		Blocks:          2,
+		ThreadsPerBlock: 64,
+		NewWarpStream: func(block, warp int) WarpStream {
+			base := uint64(block) * 128 << 10 // 2 pages per block
+			return NewSliceStream([]Access{
+				{Addrs: []uint64{base, base + 64<<10}},
+			})
+		},
+	}
+	pages := PagesTouched(k, 1, 32, 64<<10)
+	if len(pages) != 2 {
+		t.Fatalf("block 1 touched %d pages, want 2", len(pages))
+	}
+	if _, ok := pages[2]; !ok {
+		t.Fatal("page 2 missing for block 1")
+	}
+	if _, ok := pages[3]; !ok {
+		t.Fatal("page 3 missing for block 1")
+	}
+}
+
+func TestWorkloadFootprint(t *testing.T) {
+	sp := layout.NewSpace(64 << 10)
+	sp.Alloc("a", 4, 32768) // 2 pages
+	w := &Workload{Name: "x", Space: sp}
+	if w.FootprintPages() != 2 {
+		t.Fatalf("FootprintPages = %d", w.FootprintPages())
+	}
+	if w.FootprintBytes() != 2*64<<10 {
+		t.Fatalf("FootprintBytes = %d", w.FootprintBytes())
+	}
+}

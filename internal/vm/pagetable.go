@@ -1,0 +1,35 @@
+// Package vm models the GPU's address-translation hardware: the device page
+// table, per-SM L1 TLBs, the shared L2 TLB, the page-walk cache, and the
+// shared highly-threaded page-table walker (Power et al., HPCA'14), as
+// configured in Table 1 of the paper.
+package vm
+
+// PageID is a virtual page number (virtual address / page size).
+type PageID = uint64
+
+// PageTable is the GPU-resident page table. The multi-level radix structure
+// is modeled through walk latency (see Walker); the table itself tracks the
+// only state the simulation needs per page: residency in device memory.
+type PageTable struct {
+	resident map[PageID]struct{}
+}
+
+// NewPageTable returns an empty page table (no pages resident).
+func NewPageTable() *PageTable {
+	return &PageTable{resident: make(map[PageID]struct{})}
+}
+
+// Resident reports whether page is mapped in device memory.
+func (pt *PageTable) Resident(page PageID) bool {
+	_, ok := pt.resident[page]
+	return ok
+}
+
+// Map marks page resident (a migration completed).
+func (pt *PageTable) Map(page PageID) { pt.resident[page] = struct{}{} }
+
+// Unmap marks page non-resident (an eviction completed).
+func (pt *PageTable) Unmap(page PageID) { delete(pt.resident, page) }
+
+// ResidentCount returns the number of resident pages.
+func (pt *PageTable) ResidentCount() int { return len(pt.resident) }

@@ -1,0 +1,239 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uvmsim/internal/sim"
+)
+
+func TestPageTableBasics(t *testing.T) {
+	pt := NewPageTable()
+	if pt.Resident(5) {
+		t.Fatal("empty table claims page 5 resident")
+	}
+	pt.Map(5)
+	if !pt.Resident(5) {
+		t.Fatal("mapped page not resident")
+	}
+	if pt.ResidentCount() != 1 {
+		t.Fatalf("ResidentCount = %d", pt.ResidentCount())
+	}
+	pt.Unmap(5)
+	if pt.Resident(5) || pt.ResidentCount() != 0 {
+		t.Fatal("unmap did not remove page")
+	}
+	pt.Unmap(99) // unmapping absent page is a no-op
+}
+
+func TestTLBHitAfterInsert(t *testing.T) {
+	tlb := NewTLB(64, 4)
+	if tlb.Lookup(10) {
+		t.Fatal("empty TLB hit")
+	}
+	tlb.Insert(10)
+	if !tlb.Lookup(10) {
+		t.Fatal("TLB missed inserted page")
+	}
+	hits, misses := tlb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	// 4 entries, 2 ways -> 2 sets. Pages 0,2,4 map to set 0.
+	tlb := NewTLB(4, 2)
+	tlb.Insert(0)
+	tlb.Insert(2)
+	tlb.Lookup(0) // 0 becomes MRU, 2 is LRU
+	tlb.Insert(4) // evicts 2
+	if !tlb.Lookup(0) {
+		t.Fatal("MRU entry evicted")
+	}
+	if tlb.Lookup(2) {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if !tlb.Lookup(4) {
+		t.Fatal("newly inserted entry missing")
+	}
+}
+
+func TestTLBInvalidate(t *testing.T) {
+	tlb := NewFullyAssociativeTLB(8)
+	tlb.Insert(3)
+	if !tlb.Invalidate(3) {
+		t.Fatal("Invalidate missed present entry")
+	}
+	if tlb.Lookup(3) {
+		t.Fatal("invalidated entry still hits")
+	}
+	if tlb.Invalidate(3) {
+		t.Fatal("Invalidate reported removing absent entry")
+	}
+}
+
+func TestTLBInsertIdempotent(t *testing.T) {
+	tlb := NewFullyAssociativeTLB(4)
+	for i := 0; i < 10; i++ {
+		tlb.Insert(7)
+	}
+	if tlb.Len() != 1 {
+		t.Fatalf("duplicate inserts created %d entries", tlb.Len())
+	}
+}
+
+func TestTLBCapacityProperty(t *testing.T) {
+	f := func(pages []uint16) bool {
+		tlb := NewTLB(16, 4)
+		for _, p := range pages {
+			tlb.Insert(PageID(p))
+		}
+		return tlb.Len() <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTLBRejectsBadShapes(t *testing.T) {
+	for _, c := range []struct{ entries, ways int }{{0, 1}, {8, 0}, {10, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTLB(%d,%d) did not panic", c.entries, c.ways)
+				}
+			}()
+			NewTLB(c.entries, c.ways)
+		}()
+	}
+}
+
+func TestWalkerReturnsResidency(t *testing.T) {
+	eng := sim.NewEngine()
+	pt := NewPageTable()
+	pt.Map(42)
+	w := NewWalker(eng, pt, 4, 4, 200, 10)
+	got := make(map[PageID]bool)
+	w.Walk(42, func(r bool) { got[42] = r })
+	w.Walk(43, func(r bool) { got[43] = r })
+	eng.Run()
+	if len(got) != 2 || !got[42] || got[43] {
+		t.Fatalf("walk results = %v, want map[42:true 43:false]", got)
+	}
+}
+
+func TestWalkerColdVsWarmLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	pt := NewPageTable()
+	w := NewWalker(eng, pt, 1, 4, 200, 10)
+	var first, second sim.Cycle
+	w.Walk(100, func(bool) { first = eng.Now() })
+	eng.Run()
+	// Second walk of a nearby page reuses the upper-level PWC entries.
+	w.Walk(101, func(bool) { second = eng.Now() })
+	start := first
+	eng.Run()
+	cold := first
+	warm := second - start
+	if cold != 4*200 {
+		t.Fatalf("cold walk latency = %d, want 800", cold)
+	}
+	if warm != 3*10+200 {
+		t.Fatalf("warm walk latency = %d, want 230", warm)
+	}
+}
+
+func TestWalkerCoalescesSamePage(t *testing.T) {
+	eng := sim.NewEngine()
+	pt := NewPageTable()
+	w := NewWalker(eng, pt, 8, 4, 200, 10)
+	calls := 0
+	for i := 0; i < 5; i++ {
+		w.Walk(7, func(bool) { calls++ })
+	}
+	eng.Run()
+	if calls != 5 {
+		t.Fatalf("got %d callbacks, want 5", calls)
+	}
+	walks, coalesced, _ := w.Stats()
+	if walks != 1 {
+		t.Fatalf("started %d walks for one page, want 1", walks)
+	}
+	if coalesced != 4 {
+		t.Fatalf("coalesced = %d, want 4", coalesced)
+	}
+}
+
+func TestWalkerQueuesBeyondSlots(t *testing.T) {
+	eng := sim.NewEngine()
+	pt := NewPageTable()
+	w := NewWalker(eng, pt, 2, 4, 200, 10)
+	done := 0
+	// Use far-apart pages so no PWC sharing confuses the count.
+	for i := 0; i < 6; i++ {
+		w.Walk(PageID(i)<<40, func(bool) { done++ })
+	}
+	if w.active != 2 {
+		t.Fatalf("active walks = %d, want 2 (slot limit)", w.active)
+	}
+	eng.Run()
+	if done != 6 {
+		t.Fatalf("completed %d walks, want 6", done)
+	}
+	_, _, maxQ := w.Stats()
+	if maxQ != 4 {
+		t.Fatalf("max queue = %d, want 4", maxQ)
+	}
+}
+
+func TestWalkerObservesResidencyAtCompletion(t *testing.T) {
+	// A page mapped while the walk is in flight should be reported
+	// resident: the walker reads the PTE at the end of the walk.
+	eng := sim.NewEngine()
+	pt := NewPageTable()
+	w := NewWalker(eng, pt, 1, 4, 200, 10)
+	var result bool
+	w.Walk(9, func(r bool) { result = r })
+	eng.Schedule(100, func() { pt.Map(9) }) // walk finishes at 800
+	eng.Run()
+	if !result {
+		t.Fatal("walk missed mapping that landed mid-walk")
+	}
+}
+
+func TestWalkCacheLRU(t *testing.T) {
+	c := newWalkCache(2)
+	c.insert(1)
+	c.insert(2)
+	if !c.lookup(1) { // 1 becomes MRU
+		t.Fatal("missing entry 1")
+	}
+	c.insert(3) // evicts 2
+	if c.lookup(2) {
+		t.Fatal("LRU entry 2 survived")
+	}
+	if !c.lookup(1) || !c.lookup(3) {
+		t.Fatal("expected entries missing")
+	}
+	c.insert(3) // duplicate insert is a no-op
+	if !c.lookup(1) {
+		t.Fatal("duplicate insert evicted an entry")
+	}
+}
+
+func TestUpperKeyDistinctLevels(t *testing.T) {
+	// The same page must produce distinct node keys per level, and nearby
+	// pages must share upper-level keys.
+	p1, p2 := PageID(0x1000), PageID(0x1001)
+	for level := 0; level < 3; level++ {
+		if upperKey(p1, level, 4) == upperKey(p1, level+1, 4) {
+			t.Fatalf("levels %d and %d collide", level, level+1)
+		}
+	}
+	for level := 0; level < 3; level++ {
+		if upperKey(p1, level, 4) != upperKey(p2, level, 4) {
+			t.Fatalf("adjacent pages split at level %d", level)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package vm
+
+import "uvmsim/internal/sim"
+
+// Walker is the shared, highly-threaded page-table walker: up to Slots
+// walks proceed concurrently (64 in Table 1), further requests queue, and
+// concurrent requests for the same page coalesce into one walk (the MSHR
+// behaviour of the TLBs in the paper's model).
+//
+// A walk traverses the multi-level page table; each level costs a memory
+// access unless the page-walk cache holds the intermediate entry, in which
+// case it costs the PWC latency. The leaf PTE access always goes to memory.
+type Walker struct {
+	eng    *sim.Engine
+	pt     *PageTable
+	slots  int
+	levels int
+
+	memLatency uint64
+	pwcLatency uint64
+	pwc        *walkCache
+
+	active   int
+	queue    []PageID
+	inflight map[PageID][]func(resident bool)
+
+	// Stats
+	walks     uint64
+	coalesced uint64
+	queuedMax int
+}
+
+// NewWalker builds a walker over the shared page table.
+func NewWalker(eng *sim.Engine, pt *PageTable, slots, levels int, memLatency, pwcLatency uint64) *Walker {
+	if slots <= 0 || levels <= 0 {
+		panic("vm: walker needs positive slots and levels")
+	}
+	return &Walker{
+		eng:        eng,
+		pt:         pt,
+		slots:      slots,
+		levels:     levels,
+		memLatency: memLatency,
+		pwcLatency: pwcLatency,
+		pwc:        newWalkCache(16 * levels),
+		inflight:   make(map[PageID][]func(bool)),
+	}
+}
+
+// Walk requests a translation for page and invokes done with the residency
+// answer when the walk completes. Requests for a page already being walked
+// coalesce onto the in-flight walk.
+func (w *Walker) Walk(page PageID, done func(resident bool)) {
+	if cbs, ok := w.inflight[page]; ok {
+		w.inflight[page] = append(cbs, done)
+		w.coalesced++
+		return
+	}
+	w.inflight[page] = []func(bool){done}
+	if w.active < w.slots {
+		w.start(page)
+	} else {
+		w.queue = append(w.queue, page)
+		if len(w.queue) > w.queuedMax {
+			w.queuedMax = len(w.queue)
+		}
+	}
+}
+
+func (w *Walker) start(page PageID) {
+	w.active++
+	w.walks++
+	latency := w.walkLatency(page)
+	w.eng.After(latency, func() { w.finish(page) })
+}
+
+// walkLatency prices one walk against the page-walk cache and inserts the
+// touched upper-level entries.
+func (w *Walker) walkLatency(page PageID) uint64 {
+	var total uint64
+	for level := 0; level < w.levels-1; level++ {
+		key := upperKey(page, level, w.levels)
+		if w.pwc.lookup(key) {
+			total += w.pwcLatency
+		} else {
+			total += w.memLatency
+			w.pwc.insert(key)
+		}
+	}
+	total += w.memLatency // leaf PTE
+	return total
+}
+
+func (w *Walker) finish(page PageID) {
+	w.active--
+	cbs := w.inflight[page]
+	delete(w.inflight, page)
+	resident := w.pt.Resident(page)
+	for _, cb := range cbs {
+		cb(resident)
+	}
+	if len(w.queue) > 0 && w.active < w.slots {
+		next := w.queue[0]
+		w.queue = w.queue[1:]
+		w.start(next)
+	}
+}
+
+// Stats returns total walks started, coalesced requests, and the maximum
+// queue depth observed.
+func (w *Walker) Stats() (walks, coalesced uint64, maxQueue int) {
+	return w.walks, w.coalesced, w.queuedMax
+}
+
+// upperKey identifies the page-table node touched at the given level of the
+// walk for page. Each level covers 9 more bits of the page number, like an
+// x86-64 radix table.
+func upperKey(page PageID, level, levels int) uint64 {
+	shift := uint(9 * (levels - 1 - level))
+	return uint64(level)<<56 | (page >> shift)
+}
+
+// walkCache is a small fully-associative LRU cache of upper-level
+// page-table entries.
+type walkCache struct {
+	cap  int
+	keys []uint64 // MRU last
+}
+
+func newWalkCache(capacity int) *walkCache {
+	return &walkCache{cap: capacity}
+}
+
+func (c *walkCache) lookup(key uint64) bool {
+	for i, k := range c.keys {
+		if k == key {
+			copy(c.keys[i:], c.keys[i+1:])
+			c.keys[len(c.keys)-1] = key
+			return true
+		}
+	}
+	return false
+}
+
+func (c *walkCache) insert(key uint64) {
+	for _, k := range c.keys {
+		if k == key {
+			return
+		}
+	}
+	if len(c.keys) == c.cap {
+		copy(c.keys, c.keys[1:])
+		c.keys[len(c.keys)-1] = key
+	} else {
+		c.keys = append(c.keys, key)
+	}
+}

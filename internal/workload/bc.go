@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+
+	"uvmsim/internal/graph"
+	"uvmsim/internal/trace"
+)
+
+// buildBC is Brandes betweenness centrality: for each sampled source, a
+// forward BFS phase counts shortest paths (sigma) level by level, then a
+// backward phase accumulates dependencies (delta) from the deepest level
+// up, and finally the per-vertex centrality is updated. Sources are the
+// highest-degree vertices (the interesting ones on power-law graphs).
+func buildBC(p Params) *trace.Workload {
+	b := newGraphBase(p, false, "level", "sigma", "delta", "bc")
+	level := b.prop("level")
+	sigma := b.prop("sigma")
+	delta := b.prop("delta")
+	bcArr := b.prop("bc")
+
+	sources := topDegreeVertices(b.g, p.BCSources)
+	var kernels []trace.Kernel
+	for si, src := range sources {
+		levels, frontiers, _ := graph.BCStages(b.g, src)
+
+		// Forward sweep: one kernel per level, thread-centric, updating
+		// sigma of newly discovered vertices.
+		for d := range frontiers {
+			depth := uint32(d)
+			kernels = append(kernels, threadCentricKernel(
+				fmt.Sprintf("bc-s%d-fwd-L%d", si, d), b,
+				func(v uint32) []op {
+					lane := []op{{addr: level.Addr(int(v))}}
+					if levels[v] != depth {
+						return lane
+					}
+					lane = append(lane, op{addr: sigma.Addr(int(v))})
+					b.loadOffsets(v, &lane)
+					b.edgeOpsThread(v, &lane, func(dst uint32, lane *[]op) {
+						*lane = append(*lane, op{addr: level.Addr(int(dst))})
+						if levels[dst] == depth+1 {
+							*lane = append(*lane,
+								op{addr: level.Addr(int(dst)), store: true},
+								op{addr: sigma.Addr(int(dst))},
+								op{addr: sigma.Addr(int(dst)), store: true})
+						}
+					})
+					return lane
+				}))
+		}
+
+		// Backward sweep: deepest level first, accumulating delta.
+		for d := len(frontiers) - 1; d >= 0; d-- {
+			depth := uint32(d)
+			kernels = append(kernels, threadCentricKernel(
+				fmt.Sprintf("bc-s%d-bwd-L%d", si, d), b,
+				func(v uint32) []op {
+					lane := []op{{addr: level.Addr(int(v))}}
+					if levels[v] != depth {
+						return lane
+					}
+					lane = append(lane,
+						op{addr: sigma.Addr(int(v))},
+						op{addr: delta.Addr(int(v))})
+					b.loadOffsets(v, &lane)
+					b.edgeOpsThread(v, &lane, func(dst uint32, lane *[]op) {
+						*lane = append(*lane, op{addr: level.Addr(int(dst))})
+						if levels[dst] == depth+1 {
+							*lane = append(*lane,
+								op{addr: sigma.Addr(int(dst))},
+								op{addr: delta.Addr(int(dst))})
+						}
+					})
+					lane = append(lane,
+						op{addr: delta.Addr(int(v)), store: true},
+						op{addr: bcArr.Addr(int(v))},
+						op{addr: bcArr.Addr(int(v)), store: true})
+					return lane
+				}))
+		}
+	}
+	return &trace.Workload{Name: "BC", Space: b.sp, Kernels: kernels, Irregular: true}
+}
+
+// topDegreeVertices returns the n highest-out-degree vertices.
+func topDegreeVertices(g *graph.CSR, n int) []uint32 {
+	type vd struct {
+		v uint32
+		d int
+	}
+	best := make([]vd, 0, n)
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(uint32(v))
+		if len(best) < n {
+			best = append(best, vd{uint32(v), d})
+		} else {
+			// Replace the smallest if this one is bigger.
+			minI := 0
+			for i := 1; i < len(best); i++ {
+				if best[i].d < best[minI].d {
+					minI = i
+				}
+			}
+			if d > best[minI].d {
+				best[minI] = vd{uint32(v), d}
+			}
+		}
+	}
+	out := make([]uint32, len(best))
+	for i, b := range best {
+		out[i] = b.v
+	}
+	return out
+}

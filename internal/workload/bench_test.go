@@ -1,0 +1,33 @@
+package workload
+
+import "testing"
+
+func BenchmarkBuildBFSTTC(b *testing.B) {
+	p := Default()
+	p.Vertices = 1 << 15
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build("BFS-TTC", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWarpStreamGeneration(b *testing.B) {
+	p := Default()
+	p.Vertices = 1 << 15
+	w, err := Build("PR", p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := w.Kernels[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := k.NewWarpStream(i%k.Blocks, i%k.WarpsPerBlock(32))
+		for {
+			if _, ok := st.Next(); !ok {
+				break
+			}
+		}
+	}
+}

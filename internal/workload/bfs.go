@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"fmt"
+
+	"uvmsim/internal/graph"
+	"uvmsim/internal/trace"
+)
+
+// The five GraphBIG BFS implementations differ in how threads map to work
+// and how the frontier is represented; those choices produce the different
+// fault/batch behaviours the paper evaluates. All variants launch one
+// kernel per BFS level, as the CUDA implementations do.
+
+// buildBFSTTC is topological thread-centric: every thread owns one vertex
+// and checks its level each iteration.
+func buildBFSTTC(p Params) *trace.Workload {
+	b := newGraphBase(p, false, "level")
+	levels, frontiers := graph.BFSLevels(b.g, bfsSource(b.g))
+	level := b.prop("level")
+	var kernels []trace.Kernel
+	for d := range frontiers {
+		depth := uint32(d)
+		kernels = append(kernels, threadCentricKernel(
+			fmt.Sprintf("bfs-ttc-L%d", d), b,
+			func(v uint32) []op {
+				lane := []op{{addr: level.Addr(int(v))}} // status check
+				if levels[v] != depth {
+					return lane
+				}
+				b.loadOffsets(v, &lane)
+				b.edgeOpsThread(v, &lane, func(dst uint32, lane *[]op) {
+					*lane = append(*lane, op{addr: level.Addr(int(dst))})
+					if levels[dst] == depth+1 {
+						*lane = append(*lane, op{addr: level.Addr(int(dst)), store: true})
+					}
+				})
+				return lane
+			}))
+	}
+	return &trace.Workload{Name: "BFS-TTC", Space: b.sp, Kernels: kernels, Irregular: true}
+}
+
+// buildBFSTA is topological-atomic: discovery uses an atomic
+// compare-and-swap on the destination level, costing a read-modify-write
+// on every unvisited neighbor, not just the winning one.
+func buildBFSTA(p Params) *trace.Workload {
+	b := newGraphBase(p, false, "level")
+	levels, frontiers := graph.BFSLevels(b.g, bfsSource(b.g))
+	level := b.prop("level")
+	var kernels []trace.Kernel
+	for d := range frontiers {
+		depth := uint32(d)
+		kernels = append(kernels, threadCentricKernel(
+			fmt.Sprintf("bfs-ta-L%d", d), b,
+			func(v uint32) []op {
+				lane := []op{{addr: level.Addr(int(v))}}
+				if levels[v] != depth {
+					return lane
+				}
+				b.loadOffsets(v, &lane)
+				b.edgeOpsThread(v, &lane, func(dst uint32, lane *[]op) {
+					*lane = append(*lane, op{addr: level.Addr(int(dst))})
+					if levels[dst] > depth {
+						// atomicCAS: a full read-modify-write on the
+						// destination, issued by every parent (not just
+						// the winner).
+						*lane = append(*lane,
+							op{addr: level.Addr(int(dst))},
+							op{addr: level.Addr(int(dst)), store: true})
+					}
+				})
+				return lane
+			}))
+	}
+	return &trace.Workload{Name: "BFS-TA", Space: b.sp, Kernels: kernels, Irregular: true}
+}
+
+// buildBFSTF is topological-frontier: explicit current/next frontier flag
+// arrays are read and written alongside the level array.
+func buildBFSTF(p Params) *trace.Workload {
+	b := newGraphBase(p, false, "level", "front", "nextfront")
+	levels, frontiers := graph.BFSLevels(b.g, bfsSource(b.g))
+	level := b.prop("level")
+	front := b.prop("front")
+	next := b.prop("nextfront")
+	var kernels []trace.Kernel
+	for d := range frontiers {
+		depth := uint32(d)
+		kernels = append(kernels, threadCentricKernel(
+			fmt.Sprintf("bfs-tf-L%d", d), b,
+			func(v uint32) []op {
+				lane := []op{
+					{addr: front.Addr(int(v))},             // am I in the frontier?
+					{addr: next.Addr(int(v)), store: true}, // clear my next flag
+				}
+				if levels[v] != depth {
+					return lane
+				}
+				b.loadOffsets(v, &lane)
+				b.edgeOpsThread(v, &lane, func(dst uint32, lane *[]op) {
+					*lane = append(*lane, op{addr: level.Addr(int(dst))})
+					if levels[dst] == depth+1 {
+						*lane = append(*lane,
+							op{addr: level.Addr(int(dst)), store: true},
+							op{addr: next.Addr(int(dst)), store: true})
+					}
+				})
+				return lane
+			}))
+	}
+	return &trace.Workload{Name: "BFS-TF", Space: b.sp, Kernels: kernels, Irregular: true}
+}
+
+// buildBFSTWC is topological warp-centric: warps sweep all vertices, and a
+// vertex's edges are split across the 32 lanes.
+func buildBFSTWC(p Params) *trace.Workload {
+	b := newGraphBase(p, false, "level")
+	levels, frontiers := graph.BFSLevels(b.g, bfsSource(b.g))
+	level := b.prop("level")
+	all := make([]uint32, b.g.NumVertices())
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	var kernels []trace.Kernel
+	for d := range frontiers {
+		depth := uint32(d)
+		kernels = append(kernels, warpCentricKernel(
+			fmt.Sprintf("bfs-twc-L%d", d), b, all,
+			func(v uint32, lane int) []op {
+				var ops []op
+				if lane == 0 {
+					ops = append(ops, op{addr: level.Addr(int(v))})
+				}
+				if levels[v] != depth {
+					return ops
+				}
+				if lane == 0 {
+					b.loadOffsets(v, &ops)
+				}
+				return append(ops, b.edgeOpsWarp(v, lane, func(dst uint32, ops *[]op) {
+					*ops = append(*ops, op{addr: level.Addr(int(dst))})
+					if levels[dst] == depth+1 {
+						*ops = append(*ops, op{addr: level.Addr(int(dst)), store: true})
+					}
+				})...)
+			}))
+	}
+	return &trace.Workload{Name: "BFS-TWC", Space: b.sp, Kernels: kernels, Irregular: true}
+}
+
+// buildBFSDWC is data warp-centric: the frontier lives in a work queue in
+// memory; warps pull vertices from the queue, giving the extremely
+// divergent access pattern the paper singles out (Section 5.2).
+func buildBFSDWC(p Params) *trace.Workload {
+	b := newGraphBase(p, false, "level")
+	levels, frontiers := graph.BFSLevels(b.g, bfsSource(b.g))
+	level := b.prop("level")
+	// Two ping-pong frontier queues.
+	maxQ := b.g.NumVertices()
+	qA := b.sp.Alloc("queueA", 4, maxQ)
+	qB := b.sp.Alloc("queueB", 4, maxQ)
+	var kernels []trace.Kernel
+	for d, frontier := range frontiers {
+		depth := uint32(d)
+		inQ, outQ := qA, qB
+		if d%2 == 1 {
+			inQ, outQ = qB, qA
+		}
+		// Queue positions assigned to discovered vertices this level.
+		outPos := make(map[uint32]int)
+		if d+1 < len(frontiers) {
+			for i, v := range frontiers[d+1] {
+				outPos[v] = i
+			}
+		}
+		work := frontier
+		posOf := make(map[uint32]int, len(work))
+		for i, v := range work {
+			posOf[v] = i
+		}
+		kernels = append(kernels, warpCentricKernel(
+			fmt.Sprintf("bfs-dwc-L%d", d), b, work,
+			func(v uint32, lane int) []op {
+				var ops []op
+				if lane == 0 {
+					// Pop the vertex from the in-queue.
+					ops = append(ops, op{addr: inQ.Addr(posOf[v])})
+					b.loadOffsets(v, &ops)
+				}
+				return append(ops, b.edgeOpsWarp(v, lane, func(dst uint32, ops *[]op) {
+					*ops = append(*ops, op{addr: level.Addr(int(dst))})
+					if levels[dst] == depth+1 {
+						*ops = append(*ops, op{addr: level.Addr(int(dst)), store: true})
+						if pos, ok := outPos[dst]; ok {
+							*ops = append(*ops, op{addr: outQ.Addr(pos), store: true})
+						}
+					}
+				})...)
+			}))
+	}
+	return &trace.Workload{Name: "BFS-DWC", Space: b.sp, Kernels: kernels, Irregular: true}
+}

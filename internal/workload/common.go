@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"uvmsim/internal/graph"
+	"uvmsim/internal/layout"
+	"uvmsim/internal/trace"
+)
+
+// op is one per-lane memory operation.
+type op struct {
+	addr  uint64
+	store bool
+}
+
+// lockstep merges per-lane operation sequences into SIMT warp accesses:
+// position j of every lane executes together, with inactive (shorter)
+// lanes simply absent — the standard reconvergence-free divergence model.
+func lockstep(lanes [][]op, computePerOp uint64) []trace.Access {
+	maxLen := 0
+	for _, l := range lanes {
+		if len(l) > maxLen {
+			maxLen = len(l)
+		}
+	}
+	accs := make([]trace.Access, 0, maxLen)
+	for j := 0; j < maxLen; j++ {
+		var addrs []uint64
+		store := false
+		for _, l := range lanes {
+			if j < len(l) {
+				addrs = append(addrs, l[j].addr)
+				store = store || l[j].store
+			}
+		}
+		accs = append(accs, trace.Access{ComputeCycles: computePerOp, Addrs: addrs, Store: store})
+	}
+	return accs
+}
+
+// gbase holds a graph workload's input graph and address-space layout.
+type gbase struct {
+	p       Params
+	g       *graph.CSR
+	sp      *layout.Space
+	offsets layout.Array
+	edges   layout.Array
+	weights layout.Array            // zero Array when unweighted
+	props   map[string]layout.Array // named per-vertex property arrays
+}
+
+// newGraphBase generates the input graph and lays out the CSR plus the
+// requested per-vertex property arrays (4 bytes per element each).
+func newGraphBase(p Params, weighted bool, propNames ...string) *gbase {
+	g := graph.RMAT(graph.GenConfig{
+		Vertices: p.Vertices,
+		EdgesPer: p.AvgDegree,
+		Seed:     p.Seed,
+		Weighted: weighted,
+	})
+	sp := layout.NewSpace(p.PageBytes)
+	b := &gbase{
+		p:       p,
+		g:       g,
+		sp:      sp,
+		offsets: sp.Alloc("offsets", 4, g.NumVertices()+1),
+		edges:   sp.Alloc("edges", 4, g.NumEdges()),
+		props:   make(map[string]layout.Array),
+	}
+	if weighted {
+		b.weights = sp.Alloc("weights", 4, g.NumEdges())
+	}
+	for _, name := range propNames {
+		b.props[name] = sp.Alloc(name, 4, g.NumVertices())
+	}
+	return b
+}
+
+// prop returns the named property array; missing names panic (a workload
+// bug, not a runtime condition).
+func (b *gbase) prop(name string) layout.Array {
+	a, ok := b.props[name]
+	if !ok {
+		panic("workload: unknown property array " + name)
+	}
+	return a
+}
+
+// loadOffsets emits the two offset loads (begin and end) for vertex v.
+func (b *gbase) loadOffsets(v uint32, lane *[]op) {
+	*lane = append(*lane, op{addr: b.offsets.Addr(int(v))}, op{addr: b.offsets.Addr(int(v) + 1)})
+}
+
+// threadCentricKernel builds a kernel with one thread per vertex. laneOps
+// returns the operation sequence of the thread owning vertex v; returning
+// nil models an inactive thread (it still executes the guard load emitted
+// by the caller inside laneOps if it wants one).
+func threadCentricKernel(name string, b *gbase, laneOps func(v uint32) []op) trace.Kernel {
+	tpb := b.p.ThreadsPerBlock
+	n := b.g.NumVertices()
+	blocks := (n + tpb - 1) / tpb
+	return trace.Kernel{
+		Name:            name,
+		Blocks:          blocks,
+		ThreadsPerBlock: tpb,
+		RegsPerThread:   b.p.RegsPerThread,
+		NewWarpStream: func(block, warp int) trace.WarpStream {
+			base := block*tpb + warp*32
+			lanes := make([][]op, 0, 32)
+			for lane := 0; lane < 32; lane++ {
+				v := base + lane
+				if v >= n {
+					break
+				}
+				lanes = append(lanes, laneOps(uint32(v)))
+			}
+			return trace.NewSliceStream(lockstep(lanes, uint64(b.p.ComputeCycles)))
+		},
+	}
+}
+
+// warpCentricKernel builds a kernel where warps cooperatively process a
+// work list of vertices: warp w handles work[w], work[w+W], ... and for
+// each vertex the 32 lanes split the work via perVertex(v, lane).
+func warpCentricKernel(name string, b *gbase, work []uint32, perVertex func(v uint32, lane int) []op) trace.Kernel {
+	tpb := b.p.ThreadsPerBlock
+	warpsPerBlock := tpb / 32
+	// Grid sized as GraphBIG does: enough blocks to give each warp a
+	// modest chunk, bounded by the vertex count.
+	blocks := (len(work) + tpb - 1) / tpb
+	if blocks == 0 {
+		blocks = 1
+	}
+	totalWarps := blocks * warpsPerBlock
+	return trace.Kernel{
+		Name:            name,
+		Blocks:          blocks,
+		ThreadsPerBlock: tpb,
+		RegsPerThread:   b.p.RegsPerThread,
+		NewWarpStream: func(block, warp int) trace.WarpStream {
+			gw := block*warpsPerBlock + warp
+			var accs []trace.Access
+			for i := gw; i < len(work); i += totalWarps {
+				v := work[i]
+				lanes := make([][]op, 0, 32)
+				for lane := 0; lane < 32; lane++ {
+					lanes = append(lanes, perVertex(v, lane))
+				}
+				accs = append(accs, lockstep(lanes, uint64(b.p.ComputeCycles))...)
+			}
+			return trace.NewSliceStream(accs)
+		},
+	}
+}
+
+// edgeOpsThread emits a thread-serial edge scan for vertex v: for each
+// out-edge, load the edge, then apply visit(dst) ops.
+func (b *gbase) edgeOpsThread(v uint32, lane *[]op, visit func(dst uint32, lane *[]op)) {
+	begin, end := b.g.EdgeRange(v)
+	for e := begin; e < end; e++ {
+		*lane = append(*lane, op{addr: b.edges.Addr(int(e))})
+		visit(b.g.Edges[e], lane)
+	}
+}
+
+// edgeOpsWarp emits lane's share of a warp-parallel edge scan of vertex v
+// (lanes take edges lane, lane+32, ...).
+func (b *gbase) edgeOpsWarp(v uint32, lane int, visit func(dst uint32, lane *[]op)) []op {
+	begin, end := b.g.EdgeRange(v)
+	var ops []op
+	for e := begin + uint32(lane); e < end; e += 32 {
+		ops = append(ops, op{addr: b.edges.Addr(int(e))})
+		visit(b.g.Edges[e], &ops)
+	}
+	return ops
+}

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fmt"
+
+	"uvmsim/internal/trace"
+)
+
+// buildPR is push-style PageRank: each power iteration launches one
+// thread-centric kernel in which every vertex reads its rank and degree
+// and atomically accumulates its contribution into each out-neighbor's
+// next-rank slot, followed by a thread-centric normalization kernel that
+// swaps rank buffers.
+func buildPR(p Params) *trace.Workload {
+	b := newGraphBase(p, false, "rank", "next")
+	rank := b.prop("rank")
+	next := b.prop("next")
+	var kernels []trace.Kernel
+	for it := 0; it < p.PRIterations; it++ {
+		kernels = append(kernels, threadCentricKernel(
+			fmt.Sprintf("pr-push-I%d", it), b,
+			func(v uint32) []op {
+				lane := []op{{addr: rank.Addr(int(v))}}
+				b.loadOffsets(v, &lane)
+				b.edgeOpsThread(v, &lane, func(dst uint32, lane *[]op) {
+					// atomicAdd on the destination accumulator.
+					lane2 := append(*lane,
+						op{addr: next.Addr(int(dst))},
+						op{addr: next.Addr(int(dst)), store: true})
+					*lane = lane2
+				})
+				return lane
+			}))
+		kernels = append(kernels, threadCentricKernel(
+			fmt.Sprintf("pr-norm-I%d", it), b,
+			func(v uint32) []op {
+				return []op{
+					{addr: next.Addr(int(v))},
+					{addr: rank.Addr(int(v)), store: true},
+					{addr: next.Addr(int(v)), store: true}, // reset accumulator
+				}
+			}))
+	}
+	return &trace.Workload{Name: "PR", Space: b.sp, Kernels: kernels, Irregular: true}
+}

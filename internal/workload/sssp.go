@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+
+	"uvmsim/internal/graph"
+	"uvmsim/internal/trace"
+)
+
+// buildSSSPTWC is single-source shortest path, topological warp-centric:
+// one relaxation kernel per round; warps sweep all vertices, active ones
+// (whose distance changed last round) relax their edges with lanes
+// splitting the edge list. Weighted edges add a weight load per edge.
+func buildSSSPTWC(p Params) *trace.Workload {
+	b := newGraphBase(p, true, "dist", "active")
+	src := bfsSource(b.g)
+	_, rounds := graph.SSSPRounds(b.g, src)
+	dist := b.prop("dist")
+	activeArr := b.prop("active")
+
+	all := make([]uint32, b.g.NumVertices())
+	for i := range all {
+		all[i] = uint32(i)
+	}
+
+	var kernels []trace.Kernel
+	for rIdx, round := range rounds {
+		// activeSet: vertices relaxing this round; changedSet: vertices
+		// whose distance improves (they become next round's active set).
+		activeSet := make(map[uint32]bool, len(round))
+		for _, v := range round {
+			activeSet[v] = true
+		}
+		changedSet := make(map[uint32]bool)
+		if rIdx+1 < len(rounds) {
+			for _, v := range rounds[rIdx+1] {
+				changedSet[v] = true
+			}
+		}
+		kernels = append(kernels, warpCentricKernel(
+			fmt.Sprintf("sssp-twc-R%d", rIdx), b, all,
+			func(v uint32, lane int) []op {
+				var ops []op
+				if lane == 0 {
+					ops = append(ops, op{addr: activeArr.Addr(int(v))})
+				}
+				if !activeSet[v] {
+					return ops
+				}
+				if lane == 0 {
+					ops = append(ops, op{addr: dist.Addr(int(v))})
+					b.loadOffsets(v, &ops)
+				}
+				begin, end := b.g.EdgeRange(v)
+				for e := begin + uint32(lane); e < end; e += 32 {
+					dst := b.g.Edges[e]
+					ops = append(ops,
+						op{addr: b.edges.Addr(int(e))},
+						op{addr: b.weights.Addr(int(e))},
+						op{addr: dist.Addr(int(dst))}, // atomicMin read
+					)
+					if changedSet[dst] {
+						ops = append(ops,
+							op{addr: dist.Addr(int(dst)), store: true},
+							op{addr: activeArr.Addr(int(dst)), store: true})
+					}
+				}
+				return ops
+			}))
+	}
+	return &trace.Workload{Name: "SSSP-TWC", Space: b.sp, Kernels: kernels, Irregular: true}
+}

@@ -1,0 +1,150 @@
+// Package workload builds the paper's benchmark suite as trace generators:
+// the eleven irregular GraphBIG workloads of Section 5.1 (BC, five BFS
+// variants, two GC variants, KCORE, SSSP-TWC, PR) and six Rodinia-style
+// regular workloads used by Figure 1 (CFD, DWT, GM, H3D, HS, LUD).
+//
+// Each workload replays its algorithm on the host (internal/graph) to learn
+// per-round activity, lays its data structures out in a managed address
+// space (internal/layout), and emits, for every warp of every kernel
+// launch, the memory accesses the CUDA kernel would issue against that
+// layout.
+package workload
+
+import (
+	"fmt"
+
+	"uvmsim/internal/graph"
+	"uvmsim/internal/trace"
+)
+
+// Params sizes the generated workloads.
+type Params struct {
+	Vertices  int    // graph vertices
+	AvgDegree int    // average directed degree
+	Seed      uint64 // graph generator seed
+	PageBytes uint64 // must match the simulated page size
+
+	PRIterations int // PageRank power iterations
+	KCoreK       int // k for k-core decomposition
+	BCSources    int // betweenness-centrality source count
+
+	ThreadsPerBlock int
+	RegsPerThread   int // >16, which disables baseline VT (Section 4.1)
+
+	// ComputeCycles models the arithmetic work between consecutive memory
+	// operations of a thread (index math, comparisons, atomics retries).
+	ComputeCycles int
+
+	// RegularElems sizes the regular (Figure 1) workloads, in 4-byte
+	// elements per thread block.
+	RegularElems int
+}
+
+// Default returns parameters producing footprints of a few hundred 64KB
+// pages — scaled-down versions of the paper's truncated GraphBIG inputs
+// (DESIGN.md §4).
+func Default() Params {
+	return Params{
+		Vertices:        1 << 15,
+		AvgDegree:       8,
+		Seed:            42,
+		PageBytes:       64 << 10,
+		PRIterations:    3,
+		KCoreK:          3,
+		BCSources:       2,
+		ThreadsPerBlock: 1024,
+		RegsPerThread:   32,
+		ComputeCycles:   24,
+		RegularElems:    1 << 16,
+	}
+}
+
+// Irregular lists the GraphBIG workloads in the paper's figure order.
+var Irregular = []string{
+	"BC", "BFS-DWC", "BFS-TA", "BFS-TF", "BFS-TTC", "BFS-TWC",
+	"GC-DTC", "GC-TTC", "KCORE", "SSSP-TWC", "PR",
+}
+
+// Regular lists the Figure 1 regular workloads.
+var Regular = []string{"CFD", "DWT", "GM", "H3D", "HS", "LUD"}
+
+// All lists every buildable workload, including the extension workloads
+// (CC, TC, DC) that go beyond the paper's evaluation suite.
+func All() []string {
+	out := append([]string(nil), Irregular...)
+	out = append(out, Regular...)
+	return append(out, Extensions...)
+}
+
+// Build constructs the named workload.
+func Build(name string, p Params) (*trace.Workload, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "BC":
+		return buildBC(p), nil
+	case "BFS-DWC":
+		return buildBFSDWC(p), nil
+	case "BFS-TA":
+		return buildBFSTA(p), nil
+	case "BFS-TF":
+		return buildBFSTF(p), nil
+	case "BFS-TTC":
+		return buildBFSTTC(p), nil
+	case "BFS-TWC":
+		return buildBFSTWC(p), nil
+	case "GC-DTC":
+		return buildGCDTC(p), nil
+	case "GC-TTC":
+		return buildGCTTC(p), nil
+	case "KCORE":
+		return buildKCore(p), nil
+	case "SSSP-TWC":
+		return buildSSSPTWC(p), nil
+	case "PR":
+		return buildPR(p), nil
+	case "CC":
+		return buildCC(p), nil
+	case "TC":
+		return buildTC(p), nil
+	case "DC":
+		return buildDC(p), nil
+	case "CFD", "DWT", "GM", "H3D", "HS", "LUD":
+		return buildRegular(name, p), nil
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, All())
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.Vertices <= 0:
+		return fmt.Errorf("workload: Vertices = %d", p.Vertices)
+	case p.AvgDegree <= 0:
+		return fmt.Errorf("workload: AvgDegree = %d", p.AvgDegree)
+	case p.PageBytes == 0 || p.PageBytes&(p.PageBytes-1) != 0:
+		return fmt.Errorf("workload: PageBytes = %d", p.PageBytes)
+	case p.ThreadsPerBlock <= 0 || p.ThreadsPerBlock%32 != 0:
+		return fmt.Errorf("workload: ThreadsPerBlock = %d", p.ThreadsPerBlock)
+	case p.RegsPerThread <= 0:
+		return fmt.Errorf("workload: RegsPerThread = %d", p.RegsPerThread)
+	case p.ComputeCycles <= 0:
+		return fmt.Errorf("workload: ComputeCycles = %d", p.ComputeCycles)
+	case p.PRIterations <= 0:
+		return fmt.Errorf("workload: PRIterations = %d", p.PRIterations)
+	case p.KCoreK <= 0:
+		return fmt.Errorf("workload: KCoreK = %d", p.KCoreK)
+	case p.BCSources <= 0:
+		return fmt.Errorf("workload: BCSources = %d", p.BCSources)
+	case p.RegularElems <= 0:
+		return fmt.Errorf("workload: RegularElems = %d", p.RegularElems)
+	}
+	return nil
+}
+
+// bfsSource picks the BFS root: the highest-degree vertex, which maximizes
+// reachability on RMAT graphs.
+func bfsSource(g *graph.CSR) uint32 {
+	v, _ := g.MaxDegree()
+	return v
+}

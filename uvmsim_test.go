@@ -1,0 +1,83 @@
+package uvmsim_test
+
+import (
+	"testing"
+
+	"uvmsim"
+)
+
+func TestPublicAPISimulate(t *testing.T) {
+	p := uvmsim.DefaultWorkloadParams()
+	p.Vertices = 1 << 17
+	p.AvgDegree = 8
+	w, err := uvmsim.BuildWorkload("BFS-TTC", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uvmsim.DefaultConfig()
+	cfg.UVM.OversubscriptionRatio = 0.6
+	res, err := uvmsim.Simulate(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.NumBatches() == 0 {
+		t.Fatalf("empty result: cycles=%d batches=%d", res.Cycles, res.NumBatches())
+	}
+}
+
+func TestWorkloadCatalogs(t *testing.T) {
+	irr := uvmsim.IrregularWorkloads()
+	if len(irr) != 11 {
+		t.Fatalf("IrregularWorkloads = %d entries, want 11", len(irr))
+	}
+	reg := uvmsim.RegularWorkloads()
+	if len(reg) != 6 {
+		t.Fatalf("RegularWorkloads = %d entries, want 6", len(reg))
+	}
+	if len(uvmsim.ExtensionWorkloads()) != 3 {
+		t.Fatalf("ExtensionWorkloads = %d entries, want 3", len(uvmsim.ExtensionWorkloads()))
+	}
+	if len(uvmsim.AllWorkloads()) != 20 {
+		t.Fatalf("AllWorkloads = %d", len(uvmsim.AllWorkloads()))
+	}
+	// The catalogs are copies: mutating them must not corrupt the package.
+	irr[0] = "corrupted"
+	if uvmsim.IrregularWorkloads()[0] == "corrupted" {
+		t.Fatal("IrregularWorkloads exposed internal state")
+	}
+}
+
+func TestBuildWorkloadRejectsUnknown(t *testing.T) {
+	if _, err := uvmsim.BuildWorkload("NOT-A-WORKLOAD", uvmsim.DefaultWorkloadParams()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestNewMachineExposesComponents(t *testing.T) {
+	p := uvmsim.DefaultWorkloadParams()
+	p.Vertices = 1 << 12
+	w, err := uvmsim.BuildWorkload("PR", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := uvmsim.NewMachine(uvmsim.DefaultConfig(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PT == nil || m.Cluster == nil || m.RT == nil {
+		t.Fatal("machine components not exposed")
+	}
+}
+
+func TestPolicyConstantsDistinct(t *testing.T) {
+	seen := map[uvmsim.Policy]bool{}
+	for _, p := range []uvmsim.Policy{
+		uvmsim.Baseline, uvmsim.BaselineCompressed, uvmsim.TO,
+		uvmsim.UE, uvmsim.TOUE, uvmsim.ETC, uvmsim.IdealEviction,
+	} {
+		if seen[p] {
+			t.Fatalf("duplicate policy value %v", p)
+		}
+		seen[p] = true
+	}
+}
