@@ -2,26 +2,39 @@
 //
 // Usage:
 //
-//	experiments [-scale small|paper] [-out results.txt] [ids...]
+//	experiments [-scale small|paper|large] [-jobs N] [-out results.txt] [ids...]
 //
 // With no ids, every experiment runs (table1, fig01, fig03, fig05, fig08,
-// fig11..fig18). At -scale paper the run takes tens of minutes on one
-// core; -scale small finishes in a couple of minutes with noisier shapes.
+// fig11..fig18). Each figure's (workload x config) grid fans out over a
+// worker pool (-jobs; 0 means one worker per CPU, 1 is fully serial), so
+// -scale paper takes minutes-not-hours on a many-core machine; results
+// are identical at any worker count. With -cachedir (or -resume, which
+// implies a default cache directory) every finished simulation is stored
+// on disk, and an interrupted sweep — even one killed outright — resumes
+// from the completed jobs instead of recomputing them.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"uvmsim/internal/config"
 	"uvmsim/internal/exp"
+	"uvmsim/internal/harness"
 	"uvmsim/internal/workload"
 )
+
+// defaultCacheDir is where -resume keeps results when -cachedir is unset.
+const defaultCacheDir = ".uvmsim-cache"
 
 // writeCSV writes one experiment's table as <dir>/<id>.csv.
 func writeCSV(dir string, t *exp.Table) error {
@@ -36,6 +49,21 @@ func writeCSV(dir string, t *exp.Table) error {
 	return t.CSV(f)
 }
 
+// benchRecord is the machine-readable perf artifact (-bench-json).
+type benchRecord struct {
+	Scale            string   `json:"scale"`
+	Workers          int      `json:"workers"`
+	Experiments      []string `json:"experiments"`
+	WallSeconds      float64  `json:"wall_seconds"`
+	SimulatedSeconds float64  `json:"simulated_seconds"`
+	SpeedupVsSerial  float64  `json:"speedup_vs_serial"`
+	JobsTotal        int      `json:"jobs_total"`
+	JobsRun          int      `json:"jobs_run"`
+	JobsFailed       int      `json:"jobs_failed"`
+	CacheHits        int      `json:"cache_hits"`
+	PeakBatchPages   int      `json:"peak_batch_pages"`
+}
+
 func main() {
 	scale := flag.String("scale", "paper", "workload scale: small, paper, or large")
 	out := flag.String("out", "", "also write results to this file")
@@ -43,6 +71,11 @@ func main() {
 	seed := flag.Uint64("seed", 42, "graph generator seed")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	suite := flag.String("suite", "", "comma-separated workload subset for the policy figures (default: the full 11-workload suite)")
+	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = one per CPU")
+	timeout := flag.Duration("timeout", 0, "per-simulation wall-time limit (e.g. 30m); 0 = none")
+	cacheDir := flag.String("cachedir", "", "on-disk result cache directory (enables resumable sweeps)")
+	resume := flag.Bool("resume", false, "reuse cached results from an earlier (possibly interrupted) sweep; implies -cachedir "+defaultCacheDir+" when unset")
+	benchJSON := flag.String("bench-json", "", "write sweep telemetry (wall time, speedup, cache hits) to this JSON file")
 	flag.Parse()
 
 	p := workload.Default()
@@ -56,7 +89,7 @@ func main() {
 		p.AvgDegree = 16
 		p.ThreadsPerBlock = 1024
 	case "large":
-		// Closest to the paper's absolute footprints; several hours.
+		// Closest to the paper's absolute footprints; several hours serial.
 		p.Vertices = 1 << 19
 		p.AvgDegree = 16
 		p.ThreadsPerBlock = 1024
@@ -85,25 +118,63 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
+	var cache *harness.Cache
+	if *resume && *cacheDir == "" {
+		*cacheDir = defaultCacheDir
+	}
+	if *cacheDir != "" {
+		var err error
+		cache, err = harness.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	reporter := harness.NewReporter(progress)
+	pool := harness.New(harness.Options{
+		Jobs:     *jobs,
+		Timeout:  *timeout,
+		Cache:    cache,
+		Reporter: reporter,
+	})
+
+	// Ctrl-C / SIGTERM stops feeding new jobs and exits after the
+	// in-flight ones; completed jobs are already in the cache, so a rerun
+	// with -resume picks up where this sweep stopped. (A hard kill works
+	// too: cache writes are atomic and per-job.)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	base := config.Default()
 	// Deep-oversubscription points of the Figure 17 sweep can thrash far
 	// past the paper's 64x slowdowns at our scaled footprints; cap them
 	// and report lower bounds rather than running for hours.
 	base.MaxCycles = 1_000_000_000
 	r := exp.NewRunner(p, base)
+	r.Pool = pool
+	r.Ctx = ctx
 	if *suite != "" {
 		r.Suite = strings.Split(*suite, ",")
 	}
-	if !*quiet {
-		r.Progress = os.Stderr
-	}
 	fmt.Fprintf(w, "uvmsim experiments  scale=%s vertices=%d degree=%d seed=%d\n\n",
 		*scale, p.Vertices, p.AvgDegree, p.Seed)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d workers, cache=%s\n", pool.Workers(), cacheLabel(cache))
+	}
 	start := time.Now()
 	for _, id := range ids {
 		t0 := time.Now()
 		table, err := exp.Drive(id, r)
 		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "interrupted during %s; rerun with -resume to continue\n", id)
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			fmt.Fprintf(w, "== %s: FAILED: %v ==\n\n", id, err)
 			continue
@@ -119,7 +190,50 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", id, time.Since(t0).Seconds())
 		}
 	}
+	wall := time.Since(start)
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "all experiments done in %.1fs\n", time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "all experiments done in %.1fs\n%s\n", wall.Seconds(), reporter.Summary())
 	}
+	if *benchJSON != "" {
+		if err := writeBench(*benchJSON, *scale, ids, pool, wall); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func cacheLabel(c *harness.Cache) string {
+	if c == nil {
+		return "off"
+	}
+	return fmt.Sprintf("%s (%d entries)", c.Dir(), c.Len())
+}
+
+// writeBench records the sweep's performance telemetry. SpeedupVsSerial
+// compares the wall time against the summed single-job wall times — the
+// cost a one-worker sweep would have paid for the same fresh runs. (Per-
+// job walls include scheduler contention, so the ratio is only a real
+// speedup when workers do not exceed physical cores.)
+func writeBench(path, scale string, ids []string, pool *harness.Pool, wall time.Duration) error {
+	t := pool.Reporter().Totals()
+	rec := benchRecord{
+		Scale:            scale,
+		Workers:          pool.Workers(),
+		Experiments:      ids,
+		WallSeconds:      wall.Seconds(),
+		SimulatedSeconds: t.WallSum.Seconds(),
+		JobsTotal:        t.Submitted,
+		JobsRun:          t.Done,
+		JobsFailed:       t.Failed,
+		CacheHits:        t.Cached,
+		PeakBatchPages:   t.PeakBatch,
+	}
+	if rec.WallSeconds > 0 {
+		rec.SpeedupVsSerial = rec.SimulatedSeconds / rec.WallSeconds
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -6,18 +6,27 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"uvmsim/internal/config"
 	"uvmsim/internal/core"
+	"uvmsim/internal/harness"
 	"uvmsim/internal/metrics"
 	"uvmsim/internal/trace"
 	"uvmsim/internal/workload"
 )
+
+// resultsVersion salts the harness cache key. Bump it whenever the
+// simulation semantics change (new mechanisms, timing fixes), so cache
+// entries written by an older simulator are never mistaken for current
+// results.
+const resultsVersion = 1
 
 // Table is a rendered experiment result.
 type Table struct {
@@ -97,7 +106,10 @@ func pad(s string, n int) string {
 	return s + strings.Repeat(" ", n-len(s))
 }
 
-// Runner memoizes simulation runs across experiment drivers.
+// Runner memoizes simulation runs across experiment drivers. It is safe
+// for concurrent use: harness workers may build workloads and run
+// simulations in parallel, and duplicate requests for the same
+// (workload, config) point coalesce onto one execution.
 type Runner struct {
 	Params workload.Params
 	Base   config.Config
@@ -109,9 +121,32 @@ type Runner struct {
 	Suite []string
 	// Ratios overrides the Figure 17 oversubscription sweep.
 	Ratios []float64
+	// Pool, when non-nil, is the sweep harness every driver's run grid
+	// fans out through (Drive warms the grid before assembling tables).
+	// Nil runs every simulation inline on the calling goroutine.
+	Pool *harness.Pool
+	// Ctx cancels harness sweeps; nil means context.Background().
+	Ctx context.Context
 
-	workloads map[string]*trace.Workload
-	results   map[string]*metrics.Stats
+	mu        sync.Mutex
+	workloads map[string]*wlOutcome
+	results   map[string]*runOutcome
+}
+
+// wlOutcome is a claimed workload build: ready closes once w/err are set.
+type wlOutcome struct {
+	ready chan struct{}
+	w     *trace.Workload
+	err   error
+}
+
+// runOutcome is a claimed simulation run: ready closes once stats/err
+// are set. Outcomes memoize errors too (a cycle-limit abort keeps its
+// partial stats), so a failing point never re-executes within a process.
+type runOutcome struct {
+	ready chan struct{}
+	stats *metrics.Stats
+	err   error
 }
 
 // NewRunner builds a runner over the given workload parameters and base
@@ -120,9 +155,17 @@ func NewRunner(p workload.Params, base config.Config) *Runner {
 	return &Runner{
 		Params:    p,
 		Base:      base,
-		workloads: make(map[string]*trace.Workload),
-		results:   make(map[string]*metrics.Stats),
+		workloads: make(map[string]*wlOutcome),
+		results:   make(map[string]*runOutcome),
 	}
+}
+
+// ctx returns the runner's sweep context.
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
 }
 
 // suite returns the irregular-workload set the policy figures sweep.
@@ -133,51 +176,215 @@ func (r *Runner) suite() []string {
 	return irregularSet
 }
 
-// Workload returns (building and caching) the named workload.
+// Workload returns (building and caching) the named workload. Concurrent
+// callers for the same name coalesce onto one build.
 func (r *Runner) Workload(name string) (*trace.Workload, error) {
-	if w, ok := r.workloads[name]; ok {
-		return w, nil
+	r.mu.Lock()
+	e, ok := r.workloads[name]
+	if !ok {
+		e = &wlOutcome{ready: make(chan struct{})}
+		r.workloads[name] = e
 	}
-	w, err := workload.Build(name, r.Params)
+	r.mu.Unlock()
+	if !ok {
+		e.w, e.err = workload.Build(name, r.Params)
+		close(e.ready)
+	} else {
+		<-e.ready
+	}
+	return e.w, e.err
+}
+
+// jobIdentity computes a run's cache identity: a hash over the workload
+// parameters and the complete configuration (seed field zeroed, since the
+// seed is derived *from* the hash), plus the derived per-job seed.
+func (r *Runner) jobIdentity(name string, cfg config.Config) (hash string, seed uint64, err error) {
+	probe := cfg
+	probe.Seed = 0
+	hash, err = harness.HashParts(resultsVersion, r.Params, probe)
 	if err != nil {
-		return nil, err
+		return "", 0, err
 	}
-	r.workloads[name] = w
-	return w, nil
+	return hash, harness.DeriveSeed(r.Params.Seed, name, hash), nil
 }
 
 // Run simulates the named workload under the base config modified by
-// mutate (which may be nil), memoizing on the resulting config.
+// mutate (which may be nil), memoizing on the resulting config. Every
+// execution path — inline here or fanned out through the harness by
+// RunBatch — derives the job's seed and key identically, so worker count
+// never influences results.
 func (r *Runner) Run(name string, mutate func(*config.Config)) (*metrics.Stats, error) {
 	cfg := r.Base
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	key := fmt.Sprintf("%s|%v|%.3f|%.1f|%v|%v|%d|%v|%.2f|%d|%d|%.2f|%d|%d|%d",
-		name, cfg.Policy, cfg.UVM.OversubscriptionRatio, cfg.UVM.FaultHandlingUS,
-		cfg.Preload, cfg.TraditionalSwitch, cfg.UVM.MemoryPages, cfg.UVM.Prefetch,
-		cfg.UVM.PrefetchThreshold, cfg.UVM.OversubBlocksPerSM, cfg.UVM.MaxOversubBlocks,
-		cfg.UVM.LifetimeThreshold, cfg.UVM.PreemptiveEvictions, cfg.UVM.FaultBufferEntries,
-		cfg.UVM.RunaheadDepth) + fmt.Sprintf("|%d|%v", cfg.MaxCycles, cfg.UVM.TrackDirty)
-	if s, ok := r.results[key]; ok {
-		return s, nil
+	hash, seed, err := r.jobIdentity(name, cfg)
+	if err != nil {
+		return nil, err
 	}
+	cfg.Seed = seed
+	key := name + "|" + hash
+	r.mu.Lock()
+	e, ok := r.results[key]
+	if !ok {
+		e = &runOutcome{ready: make(chan struct{})}
+		r.results[key] = e
+	}
+	r.mu.Unlock()
+	if !ok {
+		if r.Progress != nil {
+			fmt.Fprintf(r.Progress, "running %s ...\n", runLabel(name, cfg))
+		}
+		e.stats, e.err = r.simulate(name, cfg, key)
+		close(e.ready)
+	} else {
+		<-e.ready
+	}
+	return e.stats, e.err
+}
+
+// simulate executes one run (the shared leaf of the inline and harness
+// paths). Cycle-limit aborts return their partial stats with a wrapped
+// core.ErrCycleLimit, matching what RunLB callers unwrap.
+func (r *Runner) simulate(name string, cfg config.Config, key string) (*metrics.Stats, error) {
 	w, err := r.Workload(name)
 	if err != nil {
 		return nil, err
 	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "running %s policy=%v ratio=%.2f handling=%.0fus preload=%v trad=%v ...\n",
-			name, cfg.Policy, cfg.UVM.OversubscriptionRatio, cfg.UVM.FaultHandlingUS, cfg.Preload, cfg.TraditionalSwitch)
-	}
 	stats, err := core.Run(cfg, w)
 	if err != nil {
-		// Partial stats (cycle-limit aborts) pass through so sweep
-		// drivers can report lower bounds; only successes are memoized.
 		return stats, fmt.Errorf("exp: %s: %w", key, err)
 	}
-	r.results[key] = stats
 	return stats, nil
+}
+
+// runLabel renders a run's human-readable identity for progress output.
+func runLabel(name string, cfg config.Config) string {
+	s := fmt.Sprintf("%s %v r%.2f h%.0fus", name, cfg.Policy,
+		cfg.UVM.OversubscriptionRatio, cfg.UVM.FaultHandlingUS)
+	if cfg.Preload {
+		s += " preload"
+	}
+	if cfg.TraditionalSwitch {
+		s += " trad"
+	}
+	if cfg.UVM.RunaheadDepth > 0 {
+		s += fmt.Sprintf(" ra%d", cfg.UVM.RunaheadDepth)
+	}
+	if cfg.MaxCycles > 0 {
+		s += fmt.Sprintf(" cap%d", cfg.MaxCycles)
+	}
+	return s
+}
+
+// RunSpec names one point of a sweep grid: a workload plus a config
+// mutation (nil means the base configuration).
+type RunSpec struct {
+	Name   string
+	Mutate func(*config.Config)
+}
+
+// cycleLimitErr restores errors.Is(err, core.ErrCycleLimit) semantics for
+// outcomes that crossed the harness (where only the message survives
+// serialization into the result cache).
+type cycleLimitErr struct{ msg string }
+
+func (e *cycleLimitErr) Error() string { return e.msg }
+func (e *cycleLimitErr) Unwrap() error { return core.ErrCycleLimit }
+
+// RunBatch submits a grid of runs through the harness pool, memoizing
+// every outcome so subsequent Run calls for the same points return
+// instantly. Per-job failures are memoized, not fatal: a crashed or
+// timed-out config fails that point when a driver asks for it, never the
+// sweep. With no pool attached this is a no-op — drivers then execute
+// their grids inline through Run.
+func (r *Runner) RunBatch(specs []RunSpec) error {
+	if r.Pool == nil {
+		return nil
+	}
+	var jobs []harness.Job
+	var entries []*runOutcome
+	for _, sp := range specs {
+		cfg := r.Base
+		if sp.Mutate != nil {
+			sp.Mutate(&cfg)
+		}
+		hash, seed, err := r.jobIdentity(sp.Name, cfg)
+		if err != nil {
+			return err
+		}
+		cfg.Seed = seed
+		key := sp.Name + "|" + hash
+		r.mu.Lock()
+		e, ok := r.results[key]
+		if !ok {
+			e = &runOutcome{ready: make(chan struct{})}
+			r.results[key] = e
+		}
+		r.mu.Unlock()
+		if ok {
+			continue // memoized, in flight, or a duplicate within specs
+		}
+		entries = append(entries, e)
+		jobs = append(jobs, harness.Job{
+			ID:       runLabel(sp.Name, cfg),
+			Workload: sp.Name,
+			Config:   cfg,
+			Hash:     hash,
+			Seed:     seed,
+		})
+	}
+	results, err := r.Pool.Run(r.ctx(), jobs, r.simExecutor)
+	for i := range results {
+		e := entries[i]
+		e.stats, e.err = outcomeOf(&results[i])
+		close(e.ready)
+	}
+	return err
+}
+
+// simExecutor is the harness executor for simulation jobs.
+func (r *Runner) simExecutor(_ context.Context, j harness.Job) (*metrics.Stats, error) {
+	return r.simulate(j.Workload, j.Config, j.Workload+"|"+j.Hash)
+}
+
+// outcomeOf converts a harness result (fresh or cache-resumed) into the
+// (stats, err) pair Run reports. Partial stats with an error can only be
+// a cycle-limit abort — core.Run returns stats on no other failure — so
+// the sentinel is restored for RunLB.
+func outcomeOf(res *harness.Result) (*metrics.Stats, error) {
+	switch {
+	case res.Err == "":
+		return res.Stats, nil
+	case res.Stats != nil:
+		return res.Stats, &cycleLimitErr{msg: res.Err}
+	default:
+		return nil, errors.New(res.Err)
+	}
+}
+
+// BuildWorkloads pre-builds the named workloads through the harness pool
+// (trace generation is CPU-heavy too). No-op without a pool; build
+// results land in the same memo Workload consults.
+func (r *Runner) BuildWorkloads(names []string) error {
+	if r.Pool == nil {
+		return nil
+	}
+	jobs := make([]harness.Job, 0, len(names))
+	for _, name := range names {
+		jobs = append(jobs, harness.Job{
+			ID:       "build " + name,
+			Workload: name,
+			NoCache:  true, // value is the in-memory trace, not stats
+		})
+	}
+	_, err := r.Pool.Run(r.ctx(), jobs, func(_ context.Context, j harness.Job) (*metrics.Stats, error) {
+		if _, err := r.Workload(j.Workload); err != nil {
+			return nil, err
+		}
+		return &metrics.Stats{}, nil
+	})
+	return err
 }
 
 // RunLB is Run for sweeps that may enter pathological thrashing regimes:
@@ -270,8 +477,18 @@ func Experiments() []string {
 	return ids
 }
 
-// Drive runs the driver with the given ID.
+// Drive runs the driver with the given ID. When the runner has a harness
+// pool, the driver's (workload x config) grid is first submitted through
+// it (see grid.go), fanning the independent simulations out over the
+// worker pool; the assembly loop below then reads back memoized results.
 func Drive(id string, r *Runner) (*Table, error) {
+	if r.Pool != nil {
+		if warm := warmers[id]; warm != nil {
+			if err := warm(r); err != nil {
+				return nil, err
+			}
+		}
+	}
 	switch id {
 	case "table1":
 		return Table1(r)

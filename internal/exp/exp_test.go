@@ -24,6 +24,18 @@ func testRunner() *Runner {
 	return r
 }
 
+// skipSlowUnderRace skips simulation-heavy, single-goroutine tests when
+// the race detector is on: they spend minutes instrumenting code that
+// never runs concurrently. Race coverage of the shared Runner/driver
+// machinery comes from the harness tests (harness_test.go), which sweep
+// real grids through the worker pool at a smaller scale.
+func skipSlowUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("simulation-heavy and single-goroutine; raced via the harness tests instead")
+	}
+}
+
 // analysisRunner builds a tiny runner for drivers that never simulate
 // (table1, fig01 working-set analysis).
 func analysisRunner() *Runner {
@@ -90,6 +102,7 @@ func parsePct(t *testing.T, s string) float64 {
 }
 
 func TestRunnerMemoizes(t *testing.T) {
+	skipSlowUnderRace(t)
 	r := testRunner()
 	a, err := r.Run("BFS-TTC", nil)
 	if err != nil {
@@ -112,6 +125,7 @@ func TestRunnerMemoizes(t *testing.T) {
 }
 
 func TestFig03Monotonicity(t *testing.T) {
+	skipSlowUnderRace(t)
 	r := testRunner()
 	tab, err := Fig03(r)
 	if err != nil {
@@ -130,6 +144,7 @@ func TestFig03Monotonicity(t *testing.T) {
 }
 
 func TestFig11To15ShareRunsAndReportShapes(t *testing.T) {
+	skipSlowUnderRace(t)
 	r := testRunner()
 	f11, err := Fig11(r)
 	if err != nil {
@@ -166,6 +181,7 @@ func TestFig11To15ShareRunsAndReportShapes(t *testing.T) {
 }
 
 func TestFig17UsesRatioOverride(t *testing.T) {
+	skipSlowUnderRace(t)
 	r := testRunner()
 	tab, err := Fig17(r)
 	if err != nil {
@@ -260,6 +276,7 @@ func TestTableCSV(t *testing.T) {
 }
 
 func TestExtRunahead(t *testing.T) {
+	skipSlowUnderRace(t)
 	r := testRunner()
 	tab, err := Drive("ext-runahead", r)
 	if err != nil {
@@ -278,6 +295,7 @@ func TestExtRunahead(t *testing.T) {
 }
 
 func TestFig05Driver(t *testing.T) {
+	skipSlowUnderRace(t)
 	r := testRunner()
 	tab, err := Fig05(r)
 	if err != nil {
@@ -295,6 +313,7 @@ func TestFig05Driver(t *testing.T) {
 }
 
 func TestFig08Driver(t *testing.T) {
+	skipSlowUnderRace(t)
 	r := testRunner()
 	tab, err := Fig08(r)
 	if err != nil {
@@ -311,6 +330,7 @@ func TestFig08Driver(t *testing.T) {
 }
 
 func TestFig18Driver(t *testing.T) {
+	skipSlowUnderRace(t)
 	r := testRunner()
 	tab, err := Fig18(r)
 	if err != nil {

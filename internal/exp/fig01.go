@@ -10,6 +10,13 @@ import (
 // fig01SMCounts are the active-core counts Figure 1 sweeps.
 var fig01SMCounts = []int{1, 2, 4, 8, 12, 16}
 
+// fig01Irregular and fig01Regular are the workload sets Figure 1
+// contrasts (also the build grid warmFig01 fans out).
+var (
+	fig01Irregular = []string{"BC", "BFS-TTC", "GC-TTC", "KCORE", "PR", "SSSP-TWC"}
+	fig01Regular   = []string{"CFD", "DWT", "GM", "H3D", "HS", "LUD"}
+)
+
 // Fig01 reproduces Figure 1: working set size versus the number of active
 // GPU cores, for regular and irregular workloads. The working set with k
 // active SMs is the average, over scheduling waves, of the fraction of the
@@ -17,8 +24,8 @@ var fig01SMCounts = []int{1, 2, 4, 8, 12, 16}
 // Regular workloads' tiles are private, so the fraction scales with k;
 // irregular workloads share most pages across blocks, so it barely moves.
 func Fig01(r *Runner) (*Table, error) {
-	irregular := []string{"BC", "BFS-TTC", "GC-TTC", "KCORE", "PR", "SSSP-TWC"}
-	regular := []string{"CFD", "DWT", "GM", "H3D", "HS", "LUD"}
+	irregular := fig01Irregular
+	regular := fig01Regular
 
 	cols := []string{"Workload", "Class"}
 	for _, k := range fig01SMCounts {

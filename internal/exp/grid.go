@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"uvmsim/internal/config"
+)
+
+// This file declares, for every driver, the (workload x config) grid it
+// needs, as harness submissions. Drive warms the grid through the
+// runner's pool before the driver assembles its table from the memoized
+// results, so the independent simulations run in parallel while the
+// table code stays the straight-line, order-preserving loop the serial
+// path uses. A driver absent from warmers (table1) runs no simulations.
+//
+// Grids must enumerate exactly the runs their driver performs: a missing
+// point silently degrades to an inline serial run during assembly
+// (TestWarmersCoverDrivers guards this).
+
+// warmers maps driver IDs to their grid submission functions.
+var warmers = map[string]func(*Runner) error{
+	"fig01":        warmFig01,
+	"fig03":        warmFig03,
+	"fig05":        warmFig05,
+	"fig08":        warmFig08,
+	"fig11":        warmFig11,
+	"fig12":        warmFig12,
+	"fig13":        warmFig13,
+	"fig14":        warmFig14,
+	"fig15":        warmFig15,
+	"fig16":        warmFig16,
+	"fig17":        warmFig17,
+	"fig18":        warmFig18,
+	"ext-runahead": warmExtRunahead,
+}
+
+// policySpec returns a spec running name under the given policy.
+func policySpec(name string, p config.Policy) RunSpec {
+	return RunSpec{Name: name, Mutate: func(c *config.Config) { c.Policy = p }}
+}
+
+// suiteGrid builds base-plus-policies specs for every suite workload.
+func suiteGrid(r *Runner, policies ...config.Policy) []RunSpec {
+	var specs []RunSpec
+	for _, name := range r.suite() {
+		specs = append(specs, RunSpec{Name: name})
+		for _, p := range policies {
+			specs = append(specs, policySpec(name, p))
+		}
+	}
+	return specs
+}
+
+// warmFig01 pre-builds Figure 1's workload traces (the driver analyzes
+// them on the host; no simulations run).
+func warmFig01(r *Runner) error {
+	names := append(append([]string(nil), fig01Regular...), fig01Irregular...)
+	return r.BuildWorkloads(names)
+}
+
+func warmFig03(r *Runner) error {
+	return r.RunBatch([]RunSpec{{Name: "BFS-TTC"}})
+}
+
+func warmFig05(r *Runner) error {
+	var specs []RunSpec
+	for _, name := range r.suite() {
+		specs = append(specs,
+			RunSpec{Name: name, Mutate: func(c *config.Config) { c.Preload = true }},
+			RunSpec{Name: name, Mutate: func(c *config.Config) {
+				c.Preload = true
+				c.TraditionalSwitch = true
+			}})
+	}
+	return r.RunBatch(specs)
+}
+
+func warmFig08(r *Runner) error {
+	var specs []RunSpec
+	for _, name := range r.suite() {
+		specs = append(specs,
+			RunSpec{Name: name, Mutate: func(c *config.Config) { c.UVM.OversubscriptionRatio = 1.0 }},
+			RunSpec{Name: name},
+			policySpec(name, config.IdealEviction))
+	}
+	return r.RunBatch(specs)
+}
+
+func warmFig11(r *Runner) error {
+	return r.RunBatch(suiteGrid(r, fig11Policies...))
+}
+
+func warmFig12(r *Runner) error {
+	return r.RunBatch(suiteGrid(r, config.TO))
+}
+
+func warmFig13(r *Runner) error { return warmFig12(r) }
+func warmFig15(r *Runner) error { return warmFig12(r) }
+
+func warmFig14(r *Runner) error {
+	return r.RunBatch(suiteGrid(r, config.TO, config.TOUE))
+}
+
+func warmFig16(r *Runner) error {
+	return r.RunBatch([]RunSpec{{Name: "BFS-TTC"}, policySpec("BFS-TTC", config.TO)})
+}
+
+// warmFig17 is the one staged grid: the ratio sweep's cycle caps derive
+// from each workload's full-memory run, so those runs form a first wave
+// whose results gate the second.
+func warmFig17(r *Runner) error {
+	set := r.sensitivitySet()
+	full := make([]RunSpec, 0, len(set))
+	for _, name := range set {
+		full = append(full, RunSpec{Name: name, Mutate: func(c *config.Config) {
+			c.UVM.OversubscriptionRatio = 1.0
+		}})
+	}
+	if err := r.RunBatch(full); err != nil {
+		return err
+	}
+	var specs []RunSpec
+	for _, name := range set {
+		fullStats, err := r.Run(name, func(c *config.Config) { c.UVM.OversubscriptionRatio = 1.0 })
+		if err != nil {
+			return nil // let the driver's own run surface the error
+		}
+		cap64 := 32 * fullStats.Cycles // mirrors Fig17's thrash cap
+		for _, ratio := range r.ratios() {
+			specs = append(specs,
+				RunSpec{Name: name, Mutate: func(c *config.Config) {
+					c.UVM.OversubscriptionRatio = ratio
+					c.MaxCycles = cap64
+				}},
+				RunSpec{Name: name, Mutate: func(c *config.Config) {
+					c.UVM.OversubscriptionRatio = ratio
+					c.Policy = config.UE
+					c.MaxCycles = cap64
+				}})
+		}
+	}
+	return r.RunBatch(specs)
+}
+
+func warmFig18(r *Runner) error {
+	var specs []RunSpec
+	for _, name := range r.sensitivitySet() {
+		for _, us := range fig18Times {
+			specs = append(specs,
+				RunSpec{Name: name, Mutate: func(c *config.Config) { c.UVM.FaultHandlingUS = us }},
+				RunSpec{Name: name, Mutate: func(c *config.Config) {
+					c.UVM.FaultHandlingUS = us
+					c.Policy = config.TOUE
+				}})
+		}
+	}
+	return r.RunBatch(specs)
+}
+
+func warmExtRunahead(r *Runner) error {
+	var specs []RunSpec
+	for _, name := range r.suite() {
+		specs = append(specs, RunSpec{Name: name})
+		for _, v := range []struct {
+			policy   config.Policy
+			runahead int
+		}{
+			{config.Baseline, 4}, {config.Baseline, 16}, {config.TO, 0}, {config.TO, 4},
+		} {
+			specs = append(specs, RunSpec{Name: name, Mutate: func(c *config.Config) {
+				c.Policy = v.policy
+				c.UVM.RunaheadDepth = v.runahead
+			}})
+		}
+	}
+	return r.RunBatch(specs)
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReporterCountsAndNarrates(t *testing.T) {
+	var sb strings.Builder
+	rp := NewReporter(&sb)
+	rp.setWorkers(4)
+	rp.submitted(4)
+	rp.done(&Result{ID: "a", WallNS: int64(2 * time.Second), PeakBatchPages: 10})
+	rp.done(&Result{ID: "b", Cached: true, PeakBatchPages: 99})
+	rp.done(&Result{ID: "c", Cached: true})
+	rp.done(&Result{ID: "d", Err: "boom", WallNS: int64(time.Second)})
+	tot := rp.Totals()
+	if tot.Done != 1 || tot.Cached != 2 || tot.Failed != 1 || tot.Submitted != 4 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if tot.PeakBatch != 99 {
+		t.Fatalf("peak batch = %d, want 99", tot.PeakBatch)
+	}
+	if tot.WallSum != 3*time.Second {
+		t.Fatalf("wall sum = %v (cached job wall must not count)", tot.WallSum)
+	}
+	out := sb.String()
+	for _, want := range []string{"[1/4]", "cached", "FAILED: boom", "[4/4]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("narration missing %q:\n%s", want, out)
+		}
+	}
+	// Distinct counts per slot, so a swapped format argument fails here.
+	if s := rp.Summary(); !strings.Contains(s, "4 jobs (1 run, 2 cached, 1 failed)") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestReporterETAOnlyWithRemainingWork(t *testing.T) {
+	// With jobs remaining and fresh-run timing available, an ETA appears.
+	if s := etaSuffix(Totals{Submitted: 10, Done: 2, WallSum: 20 * time.Second}, 2); !strings.Contains(s, "eta") {
+		t.Fatalf("no eta with work remaining: %q", s)
+	}
+	// All done: no ETA.
+	if s := etaSuffix(Totals{Submitted: 2, Done: 2, WallSum: time.Second}, 2); s != "" {
+		t.Fatalf("eta after completion: %q", s)
+	}
+	// Only cache hits so far: no timing basis, no ETA.
+	if s := etaSuffix(Totals{Submitted: 5, Cached: 2}, 2); s != "" {
+		t.Fatalf("eta without timing basis: %q", s)
+	}
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import "encoding/json"
+
+// statsJSON is the serialized form of Stats. It exists because Stats
+// keeps its lifetime accumulators unexported (they are meaningless
+// except through MeanLifetime); a plain round-trip would silently drop
+// them, which would corrupt cached sweep results.
+type statsJSON struct {
+	Batches []Batch `json:"batches,omitempty"`
+
+	Migrations   uint64 `json:"migrations,omitempty"`
+	Prefetches   uint64 `json:"prefetches,omitempty"`
+	Evictions    uint64 `json:"evictions,omitempty"`
+	PrematureEv  uint64 `json:"premature_evictions,omitempty"`
+	FaultsRaised uint64 `json:"faults_raised,omitempty"`
+
+	ContextSwitches     uint64 `json:"context_switches,omitempty"`
+	ContextSwitchCycles uint64 `json:"context_switch_cycles,omitempty"`
+
+	RunaheadFaults uint64 `json:"runahead_faults,omitempty"`
+
+	LifetimeSum   uint64 `json:"lifetime_sum,omitempty"`
+	LifetimeCount uint64 `json:"lifetime_count,omitempty"`
+
+	Cycles     uint64 `json:"cycles"`
+	Instrs     uint64 `json:"instrs,omitempty"`
+	TLBL1Hits  uint64 `json:"tlb_l1_hits,omitempty"`
+	TLBL1Miss  uint64 `json:"tlb_l1_miss,omitempty"`
+	TLBL2Hits  uint64 `json:"tlb_l2_hits,omitempty"`
+	TLBL2Miss  uint64 `json:"tlb_l2_miss,omitempty"`
+	CacheL1Hit uint64 `json:"cache_l1_hit,omitempty"`
+	CacheL1Mis uint64 `json:"cache_l1_mis,omitempty"`
+	CacheL2Hit uint64 `json:"cache_l2_hit,omitempty"`
+	CacheL2Mis uint64 `json:"cache_l2_mis,omitempty"`
+}
+
+// MarshalJSON serializes the complete run record, including the
+// unexported lifetime accumulators.
+func (s *Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(statsJSON{
+		Batches:             s.Batches,
+		Migrations:          s.Migrations,
+		Prefetches:          s.Prefetches,
+		Evictions:           s.Evictions,
+		PrematureEv:         s.PrematureEv,
+		FaultsRaised:        s.FaultsRaised,
+		ContextSwitches:     s.ContextSwitches,
+		ContextSwitchCycles: s.ContextSwitchCycles,
+		RunaheadFaults:      s.RunaheadFaults,
+		LifetimeSum:         s.lifetimeSum,
+		LifetimeCount:       s.lifetimeCount,
+		Cycles:              s.Cycles,
+		Instrs:              s.Instrs,
+		TLBL1Hits:           s.TLBL1Hits,
+		TLBL1Miss:           s.TLBL1Miss,
+		TLBL2Hits:           s.TLBL2Hits,
+		TLBL2Miss:           s.TLBL2Miss,
+		CacheL1Hit:          s.CacheL1Hit,
+		CacheL1Mis:          s.CacheL1Mis,
+		CacheL2Hit:          s.CacheL2Hit,
+		CacheL2Mis:          s.CacheL2Mis,
+	})
+}
+
+// UnmarshalJSON restores a run record written by MarshalJSON.
+func (s *Stats) UnmarshalJSON(data []byte) error {
+	var sj statsJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return err
+	}
+	*s = Stats{
+		Batches:             sj.Batches,
+		Migrations:          sj.Migrations,
+		Prefetches:          sj.Prefetches,
+		Evictions:           sj.Evictions,
+		PrematureEv:         sj.PrematureEv,
+		FaultsRaised:        sj.FaultsRaised,
+		ContextSwitches:     sj.ContextSwitches,
+		ContextSwitchCycles: sj.ContextSwitchCycles,
+		RunaheadFaults:      sj.RunaheadFaults,
+		lifetimeSum:         sj.LifetimeSum,
+		lifetimeCount:       sj.LifetimeCount,
+		Cycles:              sj.Cycles,
+		Instrs:              sj.Instrs,
+		TLBL1Hits:           sj.TLBL1Hits,
+		TLBL1Miss:           sj.TLBL1Miss,
+		TLBL2Hits:           sj.TLBL2Hits,
+		TLBL2Miss:           sj.TLBL2Miss,
+		CacheL1Hit:          sj.CacheL1Hit,
+		CacheL1Mis:          sj.CacheL1Mis,
+		CacheL2Hit:          sj.CacheL2Hit,
+		CacheL2Mis:          sj.CacheL2Mis,
+	}
+	return nil
+}
