@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet test-race bench experiments experiments-par examples clean
+.PHONY: build test vet test-race bench bench-hotpath experiments experiments-par examples clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ bench_output.txt:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Re-measure the hot-path data structures (old vs new engine/LRU
+# implementations) and record the medians as BENCH_hotpath.json. See the
+# methodology note in README.md before comparing numbers across machines.
+bench-hotpath:
+	$(GO) run ./cmd/benchhotpath -o BENCH_hotpath.json
 
 # Regenerate every table and figure of the paper. -jobs 0 fans the
 # simulation grid out over every CPU; results are identical to a serial

@@ -1,0 +1,306 @@
+// Command benchhotpath measures the simulator's per-access hot-path data
+// structures — old implementation vs new — and records the results as
+// BENCH_hotpath.json in the repository root.
+//
+// The "old" sides are the frozen reference implementations kept for
+// exactly this purpose: mmu.Reference (linear tag scan with copy-based MRU
+// promotion) and a private copy of the pre-optimization container/heap
+// engine. The "new" sides are the production structures (mmu.SetLRU,
+// sim.Engine). End-to-end simulations have no in-tree old implementation,
+// so those entries record the new numbers only, for tracking over time.
+//
+// Methodology: every benchmark uses fixed seeds (streams are identical
+// across runs and across old/new), runs `-runs` times (default 5) via
+// testing.Benchmark at the default 1s benchtime, and records the median
+// ns/op — shared machines are noisy and medians resist outliers. See
+// README.md for how to regenerate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/core"
+	"uvmsim/internal/layout"
+	"uvmsim/internal/mmu"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/trace"
+)
+
+type entry struct {
+	Name string `json:"name"`
+	// OldNsOp is absent for end-to-end entries (no old simulator in tree).
+	OldNsOp     float64 `json:"old_ns_op,omitempty"`
+	NewNsOp     float64 `json:"new_ns_op"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	OldAllocsOp int64   `json:"old_allocs_op,omitempty"`
+	NewAllocsOp int64   `json:"new_allocs_op"`
+}
+
+type report struct {
+	GeneratedBy string  `json:"generated_by"`
+	GoVersion   string  `json:"go_version"`
+	CPU         string  `json:"cpu"`
+	Runs        int     `json:"runs_per_benchmark"`
+	Aggregation string  `json:"aggregation"`
+	Benchmarks  []entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_hotpath.json", "output path")
+	runs := flag.Int("runs", 5, "repetitions per benchmark (median recorded)")
+	flag.Parse()
+
+	rep := report{
+		GeneratedBy: "cmd/benchhotpath",
+		GoVersion:   runtime.Version(),
+		CPU:         cpuModel(),
+		Runs:        *runs,
+		Aggregation: "median ns/op across runs; allocs/op from the final run",
+	}
+
+	for _, p := range pairs() {
+		e := entry{Name: p.name}
+		if p.old != nil {
+			e.OldNsOp, e.OldAllocsOp = measure(p.old, *runs)
+		}
+		e.NewNsOp, e.NewAllocsOp = measure(p.new, *runs)
+		if p.old != nil && e.NewNsOp > 0 {
+			e.Speedup = round2(e.OldNsOp / e.NewNsOp)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		if p.old != nil {
+			fmt.Printf("%-28s old %10.2f ns/op   new %10.2f ns/op   %.2fx\n",
+				e.Name, e.OldNsOp, e.NewNsOp, e.Speedup)
+		} else {
+			fmt.Printf("%-28s new %10.2f ns/op (%d allocs/op)\n", e.Name, e.NewNsOp, e.NewAllocsOp)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure runs fn `runs` times and returns the median ns/op and the final
+// run's allocs/op.
+func measure(fn func(*testing.B), runs int) (float64, int64) {
+	ns := make([]float64, 0, runs)
+	var allocs int64
+	for i := 0; i < runs; i++ {
+		r := testing.Benchmark(fn)
+		ns = append(ns, float64(r.T.Nanoseconds())/float64(r.N))
+		allocs = r.AllocsPerOp()
+	}
+	sort.Float64s(ns)
+	return round2(ns[len(ns)/2]), allocs
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if _, v, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+type pair struct {
+	name string
+	old  func(*testing.B) // nil when no old implementation exists
+	new  func(*testing.B)
+}
+
+func pairs() []pair {
+	ps := []pair{
+		{"engine_schedule_dispatch", benchOldEngineSchedule, benchNewEngineSchedule},
+		{"engine_deep_queue", benchOldEngineDeep, benchNewEngineDeep},
+	}
+	// The LRU shapes mirror the structures the default (Table 1) config
+	// builds; streams and hot-set sizes match internal/mmu/bench_test.go.
+	for _, s := range []struct {
+		name        string
+		nSets, ways int
+		hotn        int
+		keyspace    uint64
+	}{
+		{"lru_l1tlb_1x64", 1, 64, 48, 4096},
+		{"lru_l2tlb_32x32", 32, 32, 768, 65536},
+		{"lru_l2cache_1024x16", 1024, 16, 12288, 1 << 20},
+		{"lru_walkcache_1x64", 1, 64, 48, 1024},
+	} {
+		s := s
+		ps = append(ps, pair{
+			name: s.name,
+			old: func(b *testing.B) {
+				benchReference(b, mmu.NewReference(s.nSets, s.ways), s.hotn, s.keyspace)
+			},
+			new: func(b *testing.B) {
+				benchSetLRU(b, mmu.NewSetLRU(s.nSets, s.ways), s.hotn, s.keyspace)
+			},
+		})
+	}
+	ps = append(ps,
+		pair{"end_to_end_baseline", nil, benchEndToEnd(config.Baseline)},
+		pair{"end_to_end_toue", nil, benchEndToEnd(config.TOUE)},
+	)
+	return ps
+}
+
+func benchOldEngineSchedule(b *testing.B) {
+	e := newOldEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(uint64(i%64), func() {})
+		e.Step()
+	}
+}
+
+func benchNewEngineSchedule(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(uint64(i%64), func() {})
+		e.Step()
+	}
+}
+
+func benchOldEngineDeep(b *testing.B) {
+	e := newOldEngine()
+	for i := 0; i < 10_000; i++ {
+		e.After(uint64(i), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(10_000+uint64(i), func() {})
+		e.Step()
+	}
+}
+
+func benchNewEngineDeep(b *testing.B) {
+	e := sim.NewEngine()
+	for i := 0; i < 10_000; i++ {
+		e.After(uint64(i), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(10_000+uint64(i), func() {})
+		e.Step()
+	}
+}
+
+// benchStream matches internal/mmu/bench_test.go: a hot set sized to fit
+// the structure plus a 1-in-8 cold tail, seed 1.
+func benchStream(n, hotn int, keyspace uint64) []uint64 {
+	rng := rand.New(rand.NewSource(1))
+	hot := make([]uint64, hotn)
+	for i := range hot {
+		hot[i] = rng.Uint64() % keyspace
+	}
+	s := make([]uint64, n)
+	for i := range s {
+		if rng.Intn(8) != 0 {
+			s[i] = hot[rng.Intn(len(hot))]
+		} else {
+			s[i] = rng.Uint64() % keyspace
+		}
+	}
+	return s
+}
+
+func benchSetLRU(b *testing.B, c *mmu.SetLRU, hotn int, keyspace uint64) {
+	stream := benchStream(1<<14, hotn, keyspace)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := stream[i&(1<<14-1)]
+		if !c.Lookup(k) {
+			c.Insert(k)
+		}
+	}
+}
+
+func benchReference(b *testing.B, c *mmu.Reference, hotn int, keyspace uint64) {
+	stream := benchStream(1<<14, hotn, keyspace)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := stream[i&(1<<14-1)]
+		if !c.Lookup(k) {
+			c.Insert(k)
+		}
+	}
+}
+
+// scanWorkload mirrors the end-to-end benchmark workload in
+// internal/core/bench_test.go: warps walk a shared array page by page.
+func scanWorkload(pages, blocks, threadsPerBlock, accessesPerThread int) *trace.Workload {
+	const pageBytes = 64 << 10
+	sp := layout.NewSpace(pageBytes)
+	arr := sp.Alloc("data", 4, pages*(pageBytes/4))
+	intsPerPage := pageBytes / 4
+	k := trace.Kernel{
+		Name:            "scan",
+		Blocks:          blocks,
+		ThreadsPerBlock: threadsPerBlock,
+		RegsPerThread:   32,
+		NewWarpStream: func(block, warp int) trace.WarpStream {
+			var accs []trace.Access
+			warpsPerBlock := threadsPerBlock / 32
+			gwarp := block*warpsPerBlock + warp
+			for i := 0; i < accessesPerThread; i++ {
+				page := (gwarp + i*17) % pages
+				var addrs []uint64
+				for lane := 0; lane < 32; lane++ {
+					addrs = append(addrs, arr.Addr(page*intsPerPage+lane))
+				}
+				accs = append(accs, trace.Access{ComputeCycles: 4, Addrs: addrs})
+			}
+			return trace.NewSliceStream(accs)
+		},
+	}
+	return &trace.Workload{Name: "scan", Space: sp, Kernels: []trace.Kernel{k}, Irregular: true}
+}
+
+func benchEndToEnd(policy config.Policy) func(*testing.B) {
+	return func(b *testing.B) {
+		w := scanWorkload(64, 8, 256, 6)
+		cfg := config.Default()
+		cfg.Policy = policy
+		cfg.GPU.NumSMs = 4
+		cfg.MaxCycles = 2_000_000_000
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(cfg, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

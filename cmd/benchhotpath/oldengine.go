@@ -1,0 +1,68 @@
+package main
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// oldEngine is a frozen copy of the pre-optimization sim.Engine: a
+// container/heap of *event with one allocation per scheduled event. It is
+// the "old" side of the engine benchmarks in BENCH_hotpath.json, kept here
+// (not in internal/sim) so the simulator itself carries no dead code.
+type oldEvent struct {
+	when uint64
+	seq  uint64
+	fn   func()
+}
+
+type oldEventHeap []*oldEvent
+
+func (h oldEventHeap) Len() int { return len(h) }
+func (h oldEventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oldEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *oldEventHeap) Push(x interface{}) { *h = append(*h, x.(*oldEvent)) }
+func (h *oldEventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type oldEngine struct {
+	now   uint64
+	seq   uint64
+	queue oldEventHeap
+}
+
+func newOldEngine() *oldEngine {
+	e := &oldEngine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+func (e *oldEngine) Schedule(when uint64, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("benchhotpath: schedule at cycle %d before now %d", when, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &oldEvent{when: when, seq: e.seq, fn: fn})
+}
+
+func (e *oldEngine) After(delay uint64, fn func()) { e.Schedule(e.now+delay, fn) }
+
+func (e *oldEngine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*oldEvent)
+	e.now = ev.when
+	ev.fn()
+	return true
+}

@@ -228,7 +228,9 @@ func (r *Runtime) planMigrations(start, t0 uint64, pages []uint64) (evictions in
 
 	inChan := t0
 	outChan := max64(r.outFree, start)
-	firstMig = 0
+	// Cycle 0 is a legal migration start, so "no migration planned yet"
+	// needs its own flag rather than a zero sentinel in firstMig.
+	firstMigSet := false
 
 	// planned tracks this batch's own migrations so that a batch larger
 	// than device memory can victimize its own earliest arrivals.
@@ -295,8 +297,9 @@ func (r *Runtime) planMigrations(start, t0 uint64, pages []uint64) (evictions in
 		}
 		migDone := migStart + cost
 		inChan = migDone
-		if firstMig == 0 {
+		if !firstMigSet {
 			firstMig = migStart
+			firstMigSet = true
 		}
 		planned = append(planned, arrival{pg, migDone})
 		plannedAlive++
@@ -305,7 +308,7 @@ func (r *Runtime) planMigrations(start, t0 uint64, pages []uint64) (evictions in
 		lastDone = migDone
 	}
 	r.outFree = outChan
-	if firstMig == 0 {
+	if !firstMigSet {
 		firstMig = t0
 	}
 	return evictions, firstMig, lastDone

@@ -5,7 +5,10 @@ import (
 
 	"uvmsim/internal/config"
 	"uvmsim/internal/layout"
+	"uvmsim/internal/metrics"
+	"uvmsim/internal/sim"
 	"uvmsim/internal/trace"
+	"uvmsim/internal/vm"
 )
 
 // scanWorkload builds a workload whose warps walk the whole array page by
@@ -50,6 +53,37 @@ func testConfig(policy config.Policy) config.Config {
 	cfg.GPU.NumSMs = 4
 	cfg.MaxCycles = 2_000_000_000
 	return cfg
+}
+
+func TestPlanMigrationsFirstMigrationAtCycleZero(t *testing.T) {
+	// Regression test: planMigrations used firstMig == 0 as its "not set
+	// yet" sentinel, so a batch whose first migration legitimately starts
+	// at cycle 0 kept overwriting firstMig with later migrations' starts
+	// and finally clobbered it to t0. The recorded metrics.Batch then
+	// reported a FirstMigration that was not the first migration.
+	cfg := testConfig(config.Baseline)
+	eng := sim.NewEngine()
+	r := NewRuntime(eng, &cfg, &metrics.Stats{}, vm.NewPageTable(), 1024,
+		func(uint64) bool { return true })
+
+	// Contiguous pages: one DMA setup, then back-to-back transfers, all
+	// starting at cycle 0 on an idle channel.
+	evictions, firstMig, lastDone := r.planMigrations(0, 0, []uint64{10, 11, 12})
+	if evictions != 0 {
+		t.Fatalf("evictions = %d, want 0 (capacity not exceeded)", evictions)
+	}
+	if firstMig != 0 {
+		t.Fatalf("firstMig = %d, want 0 (first transfer starts on the idle channel)", firstMig)
+	}
+	mig := cfg.PageTransferCycles()
+	setup := cfg.UVM.DMASetupCycles
+	if want := setup + 3*mig; lastDone != want {
+		t.Fatalf("lastDone = %d, want %d", lastDone, want)
+	}
+	b := metrics.Batch{Start: 0, FirstMigration: firstMig, End: lastDone}
+	if b.FirstMigration != 0 || b.FirstMigration > b.End {
+		t.Fatalf("recorded batch misreports first migration: %+v", b)
+	}
 }
 
 func TestMachineRunsToCompletion(t *testing.T) {

@@ -26,7 +26,7 @@ import (
 // simulation semantics change (new mechanisms, timing fixes), so cache
 // entries written by an older simulator are never mistaken for current
 // results.
-const resultsVersion = 1
+const resultsVersion = 2 // v2: page-walk cache fills at walk completion, not issue
 
 // Table is a rendered experiment result.
 type Table struct {

@@ -68,6 +68,25 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestRepeatedRunsByteIdentical renders the same small figure grid twice
+// with completely fresh runners and pools, asserting byte-identical
+// output. The simulator must be a pure function of its inputs: map
+// iteration order, scratch-buffer pooling, and index-rebuild timing in
+// the hot-path data structures must never leak into results. This is the
+// cheap in-process version of the CI guard that diffs two full
+// cmd/experiments invocations.
+func TestRepeatedRunsByteIdentical(t *testing.T) {
+	ids := []string{"fig11"}
+	if raceEnabled {
+		ids = []string{"fig12"}
+	}
+	first := render(t, tinyRunner(harness.New(harness.Options{Jobs: 4})), ids...)
+	second := render(t, tinyRunner(harness.New(harness.Options{Jobs: 4})), ids...)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeated runs differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
 // TestWarmersCoverDrivers asserts that each driver's declared grid covers
 // every simulation the driver performs: after warming, table assembly
 // must find all its runs memoized. A gap would silently serialize those

@@ -1,11 +1,15 @@
 package gpu
 
+import "uvmsim/internal/mmu"
+
 // Cache is a set-associative, LRU, write-allocate data cache model. The
 // simulator only needs hit/miss decisions (latency is priced by the caller),
-// so the cache tracks tags, not data.
+// so the cache tracks tags, not data. Replacement state lives in a shared
+// mmu.SetLRU, so an access is an O(1) index probe rather than a tag scan,
+// and invalidating a page is bounded by the page's line count instead of
+// the cache's capacity.
 type Cache struct {
-	sets   [][]uint64 // per set, MRU last
-	ways   int
+	lru    *mmu.SetLRU
 	hits   uint64
 	misses uint64
 }
@@ -21,34 +25,18 @@ func NewCache(totalBytes uint64, ways int, lineBytes uint64) *Cache {
 		panic("gpu: cache size not divisible by ways*line")
 	}
 	nSets := int(totalBytes / (lineBytes * uint64(ways)))
-	c := &Cache{sets: make([][]uint64, nSets), ways: ways}
-	for i := range c.sets {
-		c.sets[i] = make([]uint64, 0, ways)
-	}
-	return c
+	return &Cache{lru: mmu.NewSetLRU(nSets, ways)}
 }
 
 // Access looks up a line (by line address, i.e. byte address / line size),
 // inserting it on miss, and reports whether it hit.
 func (c *Cache) Access(line uint64) bool {
-	s := int(line % uint64(len(c.sets)))
-	set := c.sets[s]
-	for i, l := range set {
-		if l == line {
-			copy(set[i:], set[i+1:])
-			set[len(set)-1] = line
-			c.hits++
-			return true
-		}
+	if c.lru.Lookup(line) {
+		c.hits++
+		return true
 	}
 	c.misses++
-	if len(set) == c.ways {
-		copy(set, set[1:])
-		set[len(set)-1] = line
-	} else {
-		set = append(set, line)
-		c.sets[s] = set
-	}
+	c.lru.Insert(line)
 	return false
 }
 
@@ -57,19 +45,7 @@ func (c *Cache) Access(line uint64) bool {
 func (c *Cache) InvalidatePage(page, pageBytes, lineBytes uint64) int {
 	lo := page * pageBytes / lineBytes
 	hi := (page + 1) * pageBytes / lineBytes
-	removed := 0
-	for s, set := range c.sets {
-		kept := set[:0]
-		for _, l := range set {
-			if l >= lo && l < hi {
-				removed++
-			} else {
-				kept = append(kept, l)
-			}
-		}
-		c.sets[s] = kept
-	}
-	return removed
+	return c.lru.InvalidateRange(lo, hi)
 }
 
 // Stats returns cumulative hits and misses.

@@ -82,14 +82,7 @@ func TestCacheNeverExceedsCapacity(t *testing.T) {
 		for _, l := range lines {
 			c.Access(uint64(l))
 		}
-		total := 0
-		for _, s := range c.sets {
-			if len(s) > c.ways {
-				return false
-			}
-			total += len(s)
-		}
-		return total <= 8
+		return c.lru.Len() <= 8
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -86,6 +86,12 @@ type Cluster struct {
 
 	// dirty tracks written pages when UVM.TrackDirty is set.
 	dirty map[uint64]struct{}
+
+	// keyPool recycles the small scratch slices used to coalesce a warp
+	// access into unique page/line keys. issueMemory runs for every
+	// memory instruction, so allocating fresh key slices there dominated
+	// the simulator's allocation profile.
+	keyPool [][]uint64
 }
 
 // New assembles a cluster from the shared page table. sink may be nil for
@@ -317,8 +323,8 @@ func (c *Cluster) issueWarp(w *Warp) {
 func (c *Cluster) issueMemory(w *Warp, acc trace.Access) {
 	pageBytes := c.cfg.UVM.PageBytes
 	lineBytes := c.cfg.GPU.LineBytes
-	pages := uniqueKeys(acc.Addrs, pageBytes)
-	lines := uniqueKeys(acc.Addrs, lineBytes)
+	pages := uniqueKeysInto(c.getKeys(), acc.Addrs, pageBytes)
+	lines := uniqueKeysInto(c.getKeys(), acc.Addrs, lineBytes)
 
 	remaining := len(pages)
 	var faulted []uint64
@@ -334,6 +340,10 @@ func (c *Cluster) issueMemory(w *Warp, acc trace.Access) {
 			}
 		})
 	}
+	// The translate callbacks capture individual page values, never the
+	// slice, so pages can be recycled as soon as the fan-out completes.
+	// lines is owned by memoryResolved, which releases it.
+	c.putKeys(pages)
 }
 
 // memoryResolved finishes a memory instruction once all its pages have a
@@ -343,6 +353,7 @@ func (c *Cluster) memoryResolved(w *Warp, acc trace.Access, lines, faulted []uin
 		if c.sink == nil {
 			panic(fmt.Sprintf("gpu: page fault on page %d with no fault sink", faulted[0]))
 		}
+		c.putKeys(lines) // the fault path never prices the data accesses
 		w.state = WarpFaultStalled
 		w.hasReplay = true
 		w.replayAcc = acc
@@ -365,6 +376,7 @@ func (c *Cluster) memoryResolved(w *Warp, acc trace.Access, lines, faulted []uin
 		}
 	}
 	lat := c.dataLatency(w.block.sm, lines)
+	c.putKeys(lines)
 	c.eng.After(lat, func() {
 		w.state = WarpReady
 		c.issueWarp(w)
@@ -386,12 +398,14 @@ func (c *Cluster) runahead(w *Warp) {
 		return
 	}
 	pageBytes := c.cfg.UVM.PageBytes
+	scratch := c.getKeys()
 	for i := 0; i < depth; i++ {
 		acc, ok := peeker.PeekAhead(i)
 		if !ok {
-			return
+			break
 		}
-		for _, p := range uniqueKeys(acc.Addrs, pageBytes) {
+		scratch = uniqueKeysInto(scratch[:0], acc.Addrs, pageBytes)
+		for _, p := range scratch {
 			if c.pt.Resident(p) {
 				continue
 			}
@@ -399,6 +413,7 @@ func (c *Cluster) runahead(w *Warp) {
 			c.sink.RaiseFault(p)
 		}
 	}
+	c.putKeys(scratch)
 }
 
 // translate resolves a page through L1 TLB -> L2 TLB -> page walker.
@@ -766,19 +781,39 @@ func removeBlock(list *[]*Block, b *Block) {
 // uniqueKeys returns the distinct addr/granularity values, preserving
 // first-seen order (addresses per access are few, so O(n²) beats a map).
 func uniqueKeys(addrs []uint64, granularity uint64) []uint64 {
-	var out []uint64
+	return uniqueKeysInto(nil, addrs, granularity)
+}
+
+// uniqueKeysInto appends the distinct addr/granularity values to dst and
+// returns it, so hot-path callers can reuse pooled scratch buffers.
+func uniqueKeysInto(dst, addrs []uint64, granularity uint64) []uint64 {
 	for _, a := range addrs {
 		k := a / granularity
 		dup := false
-		for _, o := range out {
+		for _, o := range dst {
 			if o == k {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, k)
+			dst = append(dst, k)
 		}
 	}
-	return out
+	return dst
+}
+
+// getKeys hands out a zero-length scratch slice from the pool. Callers
+// return it with putKeys once no live closure can reference it.
+func (c *Cluster) getKeys() []uint64 {
+	if n := len(c.keyPool); n > 0 {
+		s := c.keyPool[n-1]
+		c.keyPool = c.keyPool[:n-1]
+		return s
+	}
+	return make([]uint64, 0, 32) // a warp access touches at most 32 lanes
+}
+
+func (c *Cluster) putKeys(s []uint64) {
+	c.keyPool = append(c.keyPool, s[:0])
 }

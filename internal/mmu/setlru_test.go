@@ -1,0 +1,190 @@
+package mmu
+
+import "testing"
+
+func TestSetLRUBasics(t *testing.T) {
+	c := NewSetLRU(2, 2)
+	if c.Lookup(10) {
+		t.Fatal("empty structure hit")
+	}
+	if _, ev := c.Insert(10); ev {
+		t.Fatal("insert into empty set evicted")
+	}
+	if !c.Lookup(10) || !c.Contains(10) {
+		t.Fatal("inserted key missing")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if !c.Invalidate(10) {
+		t.Fatal("Invalidate missed present key")
+	}
+	if c.Invalidate(10) {
+		t.Fatal("Invalidate removed absent key")
+	}
+	if c.Len() != 0 || c.Lookup(10) {
+		t.Fatal("invalidated key still present")
+	}
+}
+
+func TestSetLRUEvictsLRUWithinSet(t *testing.T) {
+	// 2 sets, 2 ways; keys 0,2,4 land in set 0.
+	c := NewSetLRU(2, 2)
+	c.Insert(0)
+	c.Insert(2)
+	c.Lookup(0) // 0 MRU, 2 LRU
+	victim, ev := c.Insert(4)
+	if !ev || victim != 2 {
+		t.Fatalf("Insert(4) evicted (%d,%v), want (2,true)", victim, ev)
+	}
+	if !c.Contains(0) || c.Contains(2) || !c.Contains(4) {
+		t.Fatal("wrong survivors after eviction")
+	}
+}
+
+func TestSetLRUInsertPresentIsNoop(t *testing.T) {
+	// Insert must not promote an existing key: recency belongs to Lookup.
+	c := NewSetLRU(1, 2)
+	c.Insert(1)
+	c.Insert(2) // order LRU->MRU: 1, 2
+	c.Insert(1) // no-op; 1 stays LRU
+	if v, ev := c.Insert(3); !ev || v != 1 {
+		t.Fatalf("evicted (%d,%v), want (1,true)", v, ev)
+	}
+}
+
+func TestSetLRUReusesInvalidatedWay(t *testing.T) {
+	c := NewSetLRU(1, 2)
+	c.Insert(1)
+	c.Insert(2)
+	c.Invalidate(1)
+	if _, ev := c.Insert(3); ev {
+		t.Fatal("insert into freed way evicted")
+	}
+	if c.Len() != 2 || !c.Contains(2) || !c.Contains(3) {
+		t.Fatal("freed way not reused correctly")
+	}
+}
+
+func TestSetLRUInvalidateRangeBothStrategies(t *testing.T) {
+	// Narrow range (per-key probing) and wide range (list walk) must agree.
+	build := func() *SetLRU {
+		c := NewSetLRU(4, 4)
+		for k := uint64(0); k < 16; k++ {
+			c.Insert(k)
+		}
+		return c
+	}
+	narrow := build()
+	if got := narrow.InvalidateRange(4, 8); got != 4 {
+		t.Fatalf("narrow removed %d, want 4", got)
+	}
+	wide := build()
+	// hi-lo of 1<<40 exceeds Len, forcing the list-walk strategy.
+	if got := wide.InvalidateRange(4, 4+(1<<40)); got != 12 {
+		t.Fatalf("wide removed %d, want 12", got)
+	}
+	for k := uint64(0); k < 4; k++ {
+		if !narrow.Contains(k) || !wide.Contains(k) {
+			t.Fatalf("key %d should have survived", k)
+		}
+	}
+	for k := uint64(4); k < 8; k++ {
+		if narrow.Contains(k) || wide.Contains(k) {
+			t.Fatalf("key %d should have been removed", k)
+		}
+	}
+}
+
+func TestSetLRUZeroKey(t *testing.T) {
+	// Key 0 is a legitimate line/page number; the index must not treat it
+	// as a sentinel.
+	c := NewSetLRU(2, 2)
+	c.Insert(0)
+	if !c.Contains(0) || !c.Lookup(0) {
+		t.Fatal("key 0 not stored")
+	}
+	if !c.Invalidate(0) {
+		t.Fatal("key 0 not removed")
+	}
+}
+
+func TestSetLRURejectsBadShapes(t *testing.T) {
+	for _, shape := range [][2]int{{0, 4}, {4, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSetLRU(%d,%d) did not panic", shape[0], shape[1])
+				}
+			}()
+			NewSetLRU(shape[0], shape[1])
+		}()
+	}
+}
+
+func TestIndexStableUnderResidentChurn(t *testing.T) {
+	// A resident working set hit over and over must not grow the index:
+	// only evictions and invalidations create stale cells, so no rebuild
+	// should ever trigger for a structure that always hits.
+	c := NewSetLRU(4, 4)
+	for k := uint64(0); k < 16; k++ {
+		c.Insert(k)
+	}
+	used := c.idx.used
+	for round := 0; round < 10_000; round++ {
+		k := uint64(round) % 16
+		if !c.Lookup(k) {
+			t.Fatalf("round %d: resident key %d missed", round, k)
+		}
+		c.Insert(k) // present: must be a no-op
+	}
+	if c.idx.used != used {
+		t.Fatalf("index grew from %d to %d cells under pure hits", used, c.idx.used)
+	}
+}
+
+func TestSetLRUIndexRebuildUnderChurn(t *testing.T) {
+	// A tiny structure hammered with a huge keyspace forces constant
+	// evictions, so the index fills with stale cells and rebuilds many
+	// times over; presence must track a model throughout. A lost or
+	// phantom entry here means a rebuild or staleness-validation bug.
+	c := NewSetLRU(2, 2)
+	recency := []uint64{} // LRU->MRU per the reference semantics, both sets
+	for round := 0; round < 50_000; round++ {
+		k := uint64(round*2654435761) % 1024
+		if c.Lookup(k) { // hit: promote to MRU in the model too
+			for i, p := range recency {
+				if p == k {
+					recency = append(append(recency[:i], recency[i+1:]...), k)
+					break
+				}
+			}
+			continue
+		}
+		c.Insert(k)
+		set := k % 2
+		inSet := []uint64{}
+		for _, p := range recency {
+			if p%2 == set {
+				inSet = append(inSet, p)
+			}
+		}
+		if len(inSet) == 2 { // full set: model the LRU eviction
+			for i, p := range recency {
+				if p == inSet[0] {
+					recency = append(recency[:i], recency[i+1:]...)
+					break
+				}
+			}
+		}
+		recency = append(recency, k)
+		for _, p := range recency {
+			if !c.Contains(p) {
+				t.Fatalf("round %d: key %d lost", round, p)
+			}
+		}
+		if c.Len() != len(recency) {
+			t.Fatalf("round %d: Len = %d, model %d", round, c.Len(), len(recency))
+		}
+	}
+}

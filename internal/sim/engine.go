@@ -8,10 +8,7 @@
 // (FIFO), which keeps simulations deterministic.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Cycle is a point in simulated time, in GPU core cycles.
 type Cycle = uint64
@@ -23,40 +20,35 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// before is the total event order: (when, seq) lexicographic. seq is unique
+// per event, so the order is strict and any min-heap over it dispatches the
+// exact sequence a sorted queue would — heap arity cannot change results.
+func (e *event) before(o *event) bool {
+	if e.when != o.when {
+		return e.when < o.when
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not ready
 // to use; call NewEngine.
+//
+// The queue is a value-based 4-ary min-heap: events live inline in the
+// backing array, so scheduling allocates nothing in steady state (the array
+// doubles as the event free pool — popped slots are reused by later pushes,
+// and growth is amortized append). 4-ary beats binary here because sift-down
+// does ~half the levels, and the hot comparison loop over four children stays
+// in one or two cache lines of the packed event array.
 type Engine struct {
 	now    Cycle
 	seq    uint64
-	queue  eventHeap
-	nEvent uint64 // total events dispatched
+	queue  []event // 4-ary min-heap ordered by event.before
+	nEvent uint64  // total events dispatched
 }
 
 // NewEngine returns an engine with the clock at cycle zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulated cycle.
@@ -75,7 +67,8 @@ func (e *Engine) Schedule(when Cycle, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at cycle %d before now %d", when, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{when: when, seq: e.seq, fn: fn})
+	e.queue = append(e.queue, event{when: when, seq: e.seq, fn: fn})
+	e.siftUp(len(e.queue) - 1)
 }
 
 // After runs fn delay cycles from now.
@@ -83,16 +76,71 @@ func (e *Engine) After(delay Cycle, fn func()) {
 	e.Schedule(e.now+delay, fn)
 }
 
+// siftUp restores the heap property from leaf i toward the root.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.before(&q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
+}
+
+// siftDown restores the heap property from the root over n elements.
+func (e *Engine) siftDown(n int) {
+	q := e.queue
+	ev := q[0]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q[c].before(&q[best]) {
+				best = c
+			}
+		}
+		if !q[best].before(&ev) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = ev
+}
+
 // Step dispatches the next event, advancing the clock to its cycle.
 // It reports whether an event was dispatched.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	n := len(e.queue)
+	if n == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	e.now = ev.when
+	when, fn := e.queue[0].when, e.queue[0].fn
+	n--
+	if n > 0 {
+		e.queue[0] = e.queue[n]
+		e.queue[n].fn = nil // release the closure; the slot stays pooled
+		e.queue = e.queue[:n]
+		e.siftDown(n)
+	} else {
+		e.queue[0].fn = nil
+		e.queue = e.queue[:0]
+	}
+	e.now = when
 	e.nEvent++
-	ev.fn()
+	fn()
 	return true
 }
 

@@ -1,5 +1,7 @@
 package vm
 
+import "uvmsim/internal/mmu"
+
 // TLB is a set-associative translation lookaside buffer with LRU
 // replacement. Entries cache the residency decision for a page; they are
 // invalidated on eviction (TLB shootdown) so the TLB can never claim a
@@ -7,9 +9,12 @@ package vm
 //
 // A fully-associative TLB (the per-SM L1 TLB in Table 1) is a TLB with a
 // single set whose way count equals the entry count.
+//
+// Replacement state lives in a shared mmu.SetLRU, so lookups are O(1)
+// index probes rather than tag scans; this TLB is the per-access hot path
+// of every simulated memory instruction.
 type TLB struct {
-	sets   [][]PageID // per set, most-recently-used last
-	ways   int
+	lru    *mmu.SetLRU
 	hits   uint64
 	misses uint64
 }
@@ -21,78 +26,38 @@ func NewTLB(entries, ways int) *TLB {
 	if entries <= 0 || ways <= 0 || entries%ways != 0 {
 		panic("vm: TLB entries must be a positive multiple of ways")
 	}
-	nSets := entries / ways
-	t := &TLB{sets: make([][]PageID, nSets), ways: ways}
-	for i := range t.sets {
-		t.sets[i] = make([]PageID, 0, ways)
-	}
-	return t
+	return &TLB{lru: mmu.NewSetLRU(entries/ways, ways)}
 }
 
 // NewFullyAssociativeTLB builds a single-set TLB with the given entries.
 func NewFullyAssociativeTLB(entries int) *TLB { return NewTLB(entries, entries) }
 
-func (t *TLB) set(page PageID) int { return int(page % uint64(len(t.sets))) }
-
 // Lookup reports whether page has a cached translation, updating LRU state
 // and hit/miss counters.
 func (t *TLB) Lookup(page PageID) bool {
-	s := t.set(page)
-	set := t.sets[s]
-	for i, p := range set {
-		if p == page {
-			// Move to MRU position.
-			copy(set[i:], set[i+1:])
-			set[len(set)-1] = page
-			t.hits++
-			return true
-		}
+	if t.lru.Lookup(uint64(page)) {
+		t.hits++
+		return true
 	}
 	t.misses++
 	return false
 }
 
 // Insert caches a translation for page, evicting the set's LRU entry if the
-// set is full.
+// set is full. A page already present keeps its recency — Lookup handles
+// promotion.
 func (t *TLB) Insert(page PageID) {
-	s := t.set(page)
-	set := t.sets[s]
-	for _, p := range set {
-		if p == page {
-			return // already present; Lookup handles recency
-		}
-	}
-	if len(set) == t.ways {
-		copy(set, set[1:])
-		set[len(set)-1] = page
-	} else {
-		set = append(set, page)
-	}
-	t.sets[s] = set
+	t.lru.Insert(uint64(page))
 }
 
 // Invalidate removes any cached translation for page (TLB shootdown on
 // page eviction). It reports whether an entry was removed.
 func (t *TLB) Invalidate(page PageID) bool {
-	s := t.set(page)
-	set := t.sets[s]
-	for i, p := range set {
-		if p == page {
-			t.sets[s] = append(set[:i], set[i+1:]...)
-			return true
-		}
-	}
-	return false
+	return t.lru.Invalidate(uint64(page))
 }
 
 // Stats returns the cumulative hit and miss counts.
 func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
 
 // Len returns the number of valid entries.
-func (t *TLB) Len() int {
-	n := 0
-	for _, s := range t.sets {
-		n += len(s)
-	}
-	return n
-}
+func (t *TLB) Len() int { return t.lru.Len() }

@@ -144,6 +144,42 @@ func TestWalkerColdVsWarmLatency(t *testing.T) {
 	}
 }
 
+func TestWalkerOverlappingWalksDontWarmEachOther(t *testing.T) {
+	// Regression test: walkLatency used to fill the PWC at walk *issue*
+	// time, so a walk issued while another was still in flight got PWC
+	// hits for upper-level entries whose memory accesses hadn't completed
+	// — the second of two overlapping walks to sibling pages priced at
+	// warm latency (230) and even finished before the first. Entries must
+	// be filled at walk completion: the overlapped walk pays the full
+	// cold latency, and only a walk issued after the first finishes runs
+	// warm.
+	eng := sim.NewEngine()
+	pt := NewPageTable()
+	w := NewWalker(eng, pt, 2, 4, 200, 10)
+	var first, second, third sim.Cycle
+	w.Walk(100, func(bool) { first = eng.Now() })
+	// Sibling page 101 shares all three upper-level nodes with page 100.
+	// Issued at cycle 1, while the first walk (finishing at 800) is still
+	// in flight.
+	eng.Schedule(1, func() {
+		w.Walk(101, func(bool) { second = eng.Now() })
+	})
+	eng.Run()
+	if first != 4*200 {
+		t.Fatalf("first walk finished at %d, want 800", first)
+	}
+	if second != 1+4*200 {
+		t.Fatalf("overlapped sibling walk finished at %d, want 801 (full memory latency)", second)
+	}
+	// A third sibling issued after both walks completed sees a warm PWC.
+	start := eng.Now()
+	w.Walk(102, func(bool) { third = eng.Now() })
+	eng.Run()
+	if third-start != 3*10+200 {
+		t.Fatalf("post-completion walk latency = %d, want 230", third-start)
+	}
+}
+
 func TestWalkerCoalescesSamePage(t *testing.T) {
 	eng := sim.NewEngine()
 	pt := NewPageTable()

@@ -1,6 +1,9 @@
 package vm
 
-import "uvmsim/internal/sim"
+import (
+	"uvmsim/internal/mmu"
+	"uvmsim/internal/sim"
+)
 
 // Walker is the shared, highly-threaded page-table walker: up to Slots
 // walks proceed concurrently (64 in Table 1), further requests queue, and
@@ -70,29 +73,37 @@ func (w *Walker) Walk(page PageID, done func(resident bool)) {
 func (w *Walker) start(page PageID) {
 	w.active++
 	w.walks++
-	latency := w.walkLatency(page)
-	w.eng.After(latency, func() { w.finish(page) })
+	latency, missed := w.walkLatency(page)
+	w.eng.After(latency, func() { w.finish(page, missed) })
 }
 
-// walkLatency prices one walk against the page-walk cache and inserts the
-// touched upper-level entries.
-func (w *Walker) walkLatency(page PageID) uint64 {
+// walkLatency prices one walk against the page-walk cache and returns the
+// upper-level keys that missed. The caller fills those into the PWC only
+// when the walk completes: filling at issue time let a walk issued while
+// another was still in flight take PWC hits on entries whose memory
+// accesses had not happened yet, under-pricing overlapping walks to
+// sibling pages.
+func (w *Walker) walkLatency(page PageID) (uint64, []uint64) {
 	var total uint64
+	var missed []uint64
 	for level := 0; level < w.levels-1; level++ {
 		key := upperKey(page, level, w.levels)
 		if w.pwc.lookup(key) {
 			total += w.pwcLatency
 		} else {
 			total += w.memLatency
-			w.pwc.insert(key)
+			missed = append(missed, key)
 		}
 	}
 	total += w.memLatency // leaf PTE
-	return total
+	return total, missed
 }
 
-func (w *Walker) finish(page PageID) {
+func (w *Walker) finish(page PageID, missed []uint64) {
 	w.active--
+	for _, key := range missed {
+		w.pwc.insert(key)
+	}
 	cbs := w.inflight[page]
 	delete(w.inflight, page)
 	resident := w.pt.Resident(page)
@@ -121,37 +132,15 @@ func upperKey(page PageID, level, levels int) uint64 {
 }
 
 // walkCache is a small fully-associative LRU cache of upper-level
-// page-table entries.
+// page-table entries, backed by the shared indexed LRU.
 type walkCache struct {
-	cap  int
-	keys []uint64 // MRU last
+	lru *mmu.SetLRU
 }
 
 func newWalkCache(capacity int) *walkCache {
-	return &walkCache{cap: capacity}
+	return &walkCache{lru: mmu.NewSetLRU(1, capacity)}
 }
 
-func (c *walkCache) lookup(key uint64) bool {
-	for i, k := range c.keys {
-		if k == key {
-			copy(c.keys[i:], c.keys[i+1:])
-			c.keys[len(c.keys)-1] = key
-			return true
-		}
-	}
-	return false
-}
+func (c *walkCache) lookup(key uint64) bool { return c.lru.Lookup(key) }
 
-func (c *walkCache) insert(key uint64) {
-	for _, k := range c.keys {
-		if k == key {
-			return
-		}
-	}
-	if len(c.keys) == c.cap {
-		copy(c.keys, c.keys[1:])
-		c.keys[len(c.keys)-1] = key
-	} else {
-		c.keys = append(c.keys, key)
-	}
-}
+func (c *walkCache) insert(key uint64) { c.lru.Insert(key) }
