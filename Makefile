@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet test-race bench bench-hotpath experiments experiments-par examples clean
+.PHONY: build test vet test-race trace-smoke bench bench-hotpath experiments experiments-par examples clean
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,15 @@ test:
 
 # Race-check the packages that run concurrently: the sweep harness, the
 # experiment runner it drives, and the event engine underneath.
+# internal/core rides along for the UVM-runtime regression tests.
 test-race:
-	$(GO) test -race -timeout 20m ./internal/harness ./internal/exp ./internal/sim
+	$(GO) test -race -timeout 20m ./internal/harness ./internal/exp ./internal/sim ./internal/core
+
+# Traced smoke: a short run with -trace must produce structurally valid
+# Chrome trace-event JSON (same check CI runs).
+trace-smoke:
+	$(GO) run ./cmd/uvmsim -workload BFS-TTC -policy to+ue -vertices 16384 -trace smoke.json > /dev/null
+	$(GO) run ./cmd/tracecheck smoke.json
 
 # The recorded artifacts: full test log and benchmark log.
 test_output.txt:
@@ -29,10 +36,12 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Re-measure the hot-path data structures (old vs new engine/LRU
-# implementations) and record the medians as BENCH_hotpath.json. See the
-# methodology note in README.md before comparing numbers across machines.
+# implementations) and record the medians as BENCH_hotpath.json, with
+# vs_baseline ratios against the committed report (read before it is
+# overwritten). See the methodology note in README.md before comparing
+# numbers across machines.
 bench-hotpath:
-	$(GO) run ./cmd/benchhotpath -o BENCH_hotpath.json
+	$(GO) run ./cmd/benchhotpath -baseline BENCH_hotpath.json -o BENCH_hotpath.json
 
 # Regenerate every table and figure of the paper. -jobs 0 fans the
 # simulation grid out over every CPU; results are identical to a serial
@@ -54,5 +63,5 @@ examples:
 	$(GO) run ./examples/runahead
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt smoke.json
 	rm -rf .uvmsim-cache

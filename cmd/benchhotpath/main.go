@@ -32,6 +32,7 @@ import (
 	"uvmsim/internal/layout"
 	"uvmsim/internal/mmu"
 	"uvmsim/internal/sim"
+	"uvmsim/internal/telemetry"
 	"uvmsim/internal/trace"
 )
 
@@ -43,6 +44,10 @@ type entry struct {
 	Speedup     float64 `json:"speedup,omitempty"`
 	OldAllocsOp int64   `json:"old_allocs_op,omitempty"`
 	NewAllocsOp int64   `json:"new_allocs_op"`
+	// VsBaseline is new_ns_op divided by the same entry's new_ns_op in the
+	// -baseline report (1.00 = unchanged, <1 faster). Present only when a
+	// baseline report was given and contains the entry.
+	VsBaseline float64 `json:"vs_baseline,omitempty"`
 }
 
 type report struct {
@@ -57,7 +62,14 @@ type report struct {
 func main() {
 	out := flag.String("o", "BENCH_hotpath.json", "output path")
 	runs := flag.Int("runs", 5, "repetitions per benchmark (median recorded)")
+	baseline := flag.String("baseline", "", "prior report to compare against (records vs_baseline ratios)")
 	flag.Parse()
+
+	baseNs, err := loadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	rep := report{
 		GeneratedBy: "cmd/benchhotpath",
@@ -76,12 +88,17 @@ func main() {
 		if p.old != nil && e.NewNsOp > 0 {
 			e.Speedup = round2(e.OldNsOp / e.NewNsOp)
 		}
+		ratioNote := ""
+		if prior, ok := baseNs[p.name]; ok && prior > 0 {
+			e.VsBaseline = round2(e.NewNsOp / prior)
+			ratioNote = fmt.Sprintf("   %.2fx vs baseline", e.VsBaseline)
+		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
 		if p.old != nil {
-			fmt.Printf("%-28s old %10.2f ns/op   new %10.2f ns/op   %.2fx\n",
-				e.Name, e.OldNsOp, e.NewNsOp, e.Speedup)
+			fmt.Printf("%-28s old %10.2f ns/op   new %10.2f ns/op   %.2fx%s\n",
+				e.Name, e.OldNsOp, e.NewNsOp, e.Speedup, ratioNote)
 		} else {
-			fmt.Printf("%-28s new %10.2f ns/op (%d allocs/op)\n", e.Name, e.NewNsOp, e.NewAllocsOp)
+			fmt.Printf("%-28s new %10.2f ns/op (%d allocs/op)%s\n", e.Name, e.NewNsOp, e.NewAllocsOp, ratioNote)
 		}
 	}
 
@@ -96,6 +113,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// loadBaseline reads a prior report's new_ns_op values by benchmark name.
+func loadBaseline(path string) (map[string]float64, error) {
+	if path == "" {
+		return nil, nil
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prior report
+	if err := json.Unmarshal(buf, &prior); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	m := make(map[string]float64, len(prior.Benchmarks))
+	for _, e := range prior.Benchmarks {
+		m[e.Name] = e.NewNsOp
+	}
+	return m, nil
 }
 
 // measure runs fn `runs` times and returns the median ns/op and the final
@@ -167,8 +204,27 @@ func pairs() []pair {
 	ps = append(ps,
 		pair{"end_to_end_baseline", nil, benchEndToEnd(config.Baseline)},
 		pair{"end_to_end_toue", nil, benchEndToEnd(config.TOUE)},
+		// Telemetry cost: the disabled (nil) tracer's per-call price, and
+		// the Table 1 end-to-end shapes with tracing fully on. The
+		// untraced end-to-end entries above, compared against a -baseline
+		// report from before the telemetry layer existed, prove the
+		// < 2% disabled-path overhead guarantee (vs_baseline).
+		pair{"disabled_tracer_call", nil, benchDisabledTracer},
+		pair{"end_to_end_baseline_traced", nil, benchEndToEndTraced(config.Baseline)},
+		pair{"end_to_end_toue_traced", nil, benchEndToEndTraced(config.TOUE)},
 	)
 	return ps
+}
+
+// benchDisabledTracer measures the nil-tracer fast path a hot call site
+// pays with tracing off: two calls per iteration, both nil-check no-ops.
+func benchDisabledTracer(b *testing.B) {
+	var tr *telemetry.Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Migration(uint64(i), uint64(i), 10, false)
+		tr.Counter("x", 1)
+	}
 }
 
 func benchOldEngineSchedule(b *testing.B) {
@@ -299,6 +355,23 @@ func benchEndToEnd(policy config.Policy) func(*testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Run(cfg, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchEndToEndTraced(policy config.Policy) func(*testing.B) {
+	return func(b *testing.B) {
+		w := scanWorkload(64, 8, 256, 6)
+		cfg := config.Default()
+		cfg.Policy = policy
+		cfg.GPU.NumSMs = 4
+		cfg.MaxCycles = 2_000_000_000
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.RunTraced(cfg, w); err != nil {
 				b.Fatal(err)
 			}
 		}

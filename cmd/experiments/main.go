@@ -76,6 +76,7 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "on-disk result cache directory (enables resumable sweeps)")
 	resume := flag.Bool("resume", false, "reuse cached results from an earlier (possibly interrupted) sweep; implies -cachedir "+defaultCacheDir+" when unset")
 	benchJSON := flag.String("bench-json", "", "write sweep telemetry (wall time, speedup, cache hits) to this JSON file")
+	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event JSON execution trace per freshly-run job into this directory (cache hits are not traced)")
 	flag.Parse()
 
 	p := workload.Default()
@@ -135,12 +136,19 @@ func main() {
 	if !*quiet {
 		progress = os.Stderr
 	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	reporter := harness.NewReporter(progress)
 	pool := harness.New(harness.Options{
 		Jobs:     *jobs,
 		Timeout:  *timeout,
 		Cache:    cache,
 		Reporter: reporter,
+		TraceDir: *traceDir,
 	})
 
 	// Ctrl-C / SIGTERM stops feeding new jobs and exits after the

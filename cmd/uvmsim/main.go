@@ -17,6 +17,7 @@ import (
 	"uvmsim/internal/config"
 	"uvmsim/internal/core"
 	"uvmsim/internal/metrics"
+	"uvmsim/internal/telemetry"
 	"uvmsim/internal/trace"
 	"uvmsim/internal/workload"
 )
@@ -52,6 +53,7 @@ func main() {
 	runahead := flag.Int("runahead", 0, "runahead fault-generation depth (0 = off)")
 	traceOut := flag.String("traceout", "", "write the workload's access trace to this file and exit")
 	traceIn := flag.String("tracein", "", "simulate a trace file (written by -traceout) instead of building -workload")
+	execTrace := flag.String("trace", "", "write a Chrome trace-event JSON execution trace (Perfetto-loadable) to this file")
 	flag.Parse()
 
 	if *list {
@@ -118,10 +120,34 @@ func main() {
 	cfg.GPU.IssueSlotsPerCycle = *issue
 	cfg.UVM.TrackDirty = *dirty
 
-	stats, err := core.Run(cfg, w)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var stats *metrics.Stats
+	if *execTrace != "" {
+		var tr *telemetry.Tracer
+		stats, tr, err = core.RunTraced(cfg, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, ferr := os.Create(*execTrace)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		if werr := tr.WriteJSON(f); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote execution trace %s (%d events)\n", *execTrace, tr.Len())
+	} else {
+		stats, err = core.Run(cfg, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *jsonOut {

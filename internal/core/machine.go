@@ -8,6 +8,7 @@ import (
 	"uvmsim/internal/gpu"
 	"uvmsim/internal/metrics"
 	"uvmsim/internal/sim"
+	"uvmsim/internal/telemetry"
 	"uvmsim/internal/trace"
 	"uvmsim/internal/vm"
 )
@@ -24,6 +25,7 @@ type Machine struct {
 
 	workload  *trace.Workload
 	etc       *etcController
+	tr        *telemetry.Tracer
 	finished  bool
 	kernelIdx int
 }
@@ -86,6 +88,20 @@ func NewMachine(cfg config.Config, w *trace.Workload) (*Machine, error) {
 	return m, nil
 }
 
+// AttachTracer threads an execution tracer through every layer: the UVM
+// runtime (batch/migration/eviction spans, TO-degree counter), the GPU
+// cluster and page walker (context-switch spans, TLB/cache/walk counters),
+// and the machine's own kernel spans and engine counters. Call before Run;
+// a nil tracer detaches nothing but is harmless.
+func (m *Machine) AttachTracer(tr *telemetry.Tracer) {
+	m.tr = tr
+	m.RT.SetTracer(tr)
+	m.Cluster.RegisterTelemetry(tr)
+	tr.RegisterCounter("sim.events_dispatched", func() float64 { return float64(m.Eng.Dispatched()) })
+	tr.RegisterCounter("mem.resident_pages", func() float64 { return float64(m.RT.Allocator().Len()) })
+	tr.RegisterCounter("uvm.pending_faults", func() float64 { return float64(m.RT.PendingFaults()) })
+}
+
 // preloadAll maps the workload's whole footprint (the traditional
 // copy-then-launch model with no demand paging).
 func (m *Machine) preloadAll() {
@@ -136,10 +152,23 @@ func (m *Machine) launchNext() {
 		if m.etc != nil {
 			m.etc.stop()
 		}
+		m.tr.Sample() // final counter snapshot at run end
 		return
 	}
 	k := &m.workload.Kernels[m.kernelIdx]
 	m.kernelIdx++
+	if m.tr.Enabled() {
+		name := k.Name
+		if name == "" {
+			name = fmt.Sprintf("kernel %d", m.kernelIdx-1)
+		}
+		start := m.Eng.Now()
+		m.Cluster.Launch(k, func() {
+			m.tr.Span(telemetry.TrackKernels, name, start, m.Eng.Now()-start)
+			m.launchNext()
+		})
+		return
+	}
 	m.Cluster.Launch(k, m.launchNext)
 }
 
@@ -150,4 +179,17 @@ func Run(cfg config.Config, w *trace.Workload) (*metrics.Stats, error) {
 		return nil, err
 	}
 	return m.Run()
+}
+
+// RunTraced builds a machine, attaches a fresh tracer, and runs it,
+// returning the statistics alongside the collected trace.
+func RunTraced(cfg config.Config, w *trace.Workload) (*metrics.Stats, *telemetry.Tracer, error) {
+	m, err := NewMachine(cfg, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := telemetry.NewTracer(m.Eng)
+	m.AttachTracer(tr)
+	stats, err := m.Run()
+	return stats, tr, err
 }

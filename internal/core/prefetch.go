@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Prefetcher implements the tree-based density prefetcher used as the
 // state-of-the-art baseline (Zheng et al. HPCA'16 / the Pascal driver's
@@ -106,5 +109,20 @@ func (p *Prefetcher) Plan(faulted []uint64, isResident, inSpace func(page uint64
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Contract check: the plan must stay disjoint from its input. Batch
+	// assembly (mergeSorted) dedups defensively, but a violation here means
+	// the density walk is broken and should fail loudly, not be papered
+	// over downstream.
+	if len(out) > 0 {
+		faultedAll := make(map[uint64]bool, len(faulted))
+		for _, pg := range faulted {
+			faultedAll[pg] = true
+		}
+		for _, pg := range out {
+			if faultedAll[pg] {
+				panic(fmt.Sprintf("core: prefetch plan contains faulted page %d", pg))
+			}
+		}
+	}
 	return out
 }

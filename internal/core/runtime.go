@@ -8,6 +8,7 @@ import (
 	"uvmsim/internal/gpu"
 	"uvmsim/internal/metrics"
 	"uvmsim/internal/sim"
+	"uvmsim/internal/telemetry"
 	"uvmsim/internal/vm"
 )
 
@@ -41,8 +42,12 @@ type Runtime struct {
 	pt      *vm.PageTable
 	cluster *gpu.Cluster
 	alloc   *Allocator
-	pref    *Prefetcher
+	pref    planner
 	inSpace func(page uint64) bool
+
+	// tr is the execution tracer; nil (the default) disables tracing at
+	// zero cost beyond a nil check per call site.
+	tr *telemetry.Tracer
 
 	pendingList []uint64
 	pendingSet  map[uint64]struct{}
@@ -62,6 +67,12 @@ type Runtime struct {
 	// preFreed holds the completion times of preemptive evictions whose
 	// frames have not yet been claimed by a migration.
 	preFreed []uint64
+
+	// batchSeq numbers batches for the telemetry stream.
+	batchSeq int
+	// preWinStart/preWinEnd bound the out-channel busy interval of the
+	// current batch's preemptive evictions (for the overlap measurement).
+	preWinStart, preWinEnd uint64
 
 	// Thread-oversubscription controller state.
 	toDegree int
@@ -97,6 +108,19 @@ func NewRuntime(eng *sim.Engine, cfg *config.Config, stats *metrics.Stats, pt *v
 	return r
 }
 
+// planner produces a batch's prefetch plan; *Prefetcher implements it.
+// It is an interface so regression tests can inject adversarial plans
+// (output overlapping the faulted set) and pin that batch assembly
+// schedules each page exactly once regardless.
+type planner interface {
+	Plan(faulted []uint64, isResident, inSpace func(page uint64) bool) []uint64
+}
+
+// SetTracer attaches an execution tracer (nil detaches). Call before the
+// simulation starts; mid-run attachment would record a batch stream with
+// a missing prefix.
+func (r *Runtime) SetTracer(tr *telemetry.Tracer) { r.tr = tr }
+
 // AttachCluster wires the runtime to the GPU it serves. Must be called
 // before the first fault.
 func (r *Runtime) AttachCluster(c *gpu.Cluster) {
@@ -110,8 +134,12 @@ func (r *Runtime) AttachCluster(c *gpu.Cluster) {
 // preloading and by tests).
 func (r *Runtime) Allocator() *Allocator { return r.alloc }
 
-// Stop halts periodic controllers so the event queue can drain.
-func (r *Runtime) Stop() { r.stopped = true }
+// Stop halts periodic controllers so the event queue can drain, and
+// freezes the run's final oversubscription degree into the stats.
+func (r *Runtime) Stop() {
+	r.stopped = true
+	r.stats.TOFinalDegree = r.toDegree
+}
 
 // RaiseFault implements gpu.FaultSink: a page fault enters the fault
 // buffer; the first fault of an idle period triggers batch processing
@@ -159,12 +187,18 @@ func (r *Runtime) beginBatch() {
 	// Preprocessing sorts faults in ascending page order.
 	sort.Slice(faulted, func(i, j int) bool { return faulted[i] < faulted[j] })
 
+	batchID := r.batchSeq
+	r.batchSeq++
+
 	batchEvictions := 0
+	preemptive := 0
+	r.preWinStart, r.preWinEnd = 0, 0
 
 	// Unobtrusive eviction: the top-half ISR issues preemptive evictions
 	// that overlap the fault-handling window (Figure 9, steps 2-3).
 	if r.cfg.Policy.UnobtrusiveEviction() {
-		batchEvictions += r.preemptiveEvict(start, len(faulted))
+		preemptive = r.preemptiveEvict(start, len(faulted))
+		batchEvictions += preemptive
 	}
 
 	// Prefetch planning happens during preprocessing. Prefetches fill
@@ -207,7 +241,19 @@ func (r *Runtime) beginBatch() {
 		Bytes:          uint64(len(pages)) * r.cfg.UVM.PageBytes,
 		Evictions:      batchEvictions,
 	}
-	r.eng.Schedule(last, func() { r.endBatch(b) })
+	// Preemptive-eviction overlap: out-channel busy cycles that hid under
+	// the fault-handling window [start, t0] — the overlap Figure 9 buys.
+	var outOverlap uint64
+	if preemptive > 0 {
+		if lo, hi := max64(r.preWinStart, start), min64(r.preWinEnd, t0); hi > lo {
+			outOverlap = hi - lo
+		}
+	}
+	r.eng.Schedule(last, func() {
+		r.tr.BatchSpan(batchID, b.Start, b.FirstMigration, b.End,
+			b.Faults, b.Pages, b.Evictions, preemptive, b.Bytes, outOverlap)
+		r.endBatch(b)
+	})
 }
 
 // planMigrations schedules every page transfer of the batch and any paired
@@ -269,13 +315,16 @@ func (r *Runtime) planMigrations(start, t0 uint64, pages []uint64) (evictions in
 			switch {
 			case policy == config.IdealEviction:
 				// Frame freed instantly; the unmap still happens.
-				r.scheduleEviction(victim, lifeStart, max64(t0, avail))
+				at := max64(t0, avail)
+				r.scheduleEviction(victim, lifeStart, at)
+				r.tr.Eviction(victim, at, 0, false, false)
 				frameAt = avail
 			case policy.UnobtrusiveEviction():
 				st := max64(outChan, avail)
 				done := st + evictCost(victim) + ptUpdateCycles
 				outChan = done
 				r.scheduleEviction(victim, lifeStart, done)
+				r.tr.Eviction(victim, st, done-st, true, false)
 				frameAt = done
 			default:
 				// Baseline: eviction serialized before the paired
@@ -284,6 +333,7 @@ func (r *Runtime) planMigrations(start, t0 uint64, pages []uint64) (evictions in
 				done := st + evictCost(victim) + ptUpdateCycles
 				inChan = done
 				r.scheduleEviction(victim, lifeStart, done)
+				r.tr.Eviction(victim, st, done-st, false, false)
 				frameAt = done
 			}
 		} else if len(r.preFreed) > 0 {
@@ -297,6 +347,10 @@ func (r *Runtime) planMigrations(start, t0 uint64, pages []uint64) (evictions in
 		}
 		migDone := migStart + cost
 		inChan = migDone
+		if r.tr.Enabled() {
+			_, pf := r.prefetchSet[pg]
+			r.tr.Migration(pg, migStart, cost, pf)
+		}
 		if !firstMigSet {
 			firstMig = migStart
 			firstMigSet = true
@@ -362,6 +416,7 @@ func (r *Runtime) completeMigration(page uint64) {
 // the interrupt round-trip).
 func (r *Runtime) endBatch(b metrics.Batch) {
 	r.stats.RecordBatch(b)
+	r.tr.Sample() // batch boundaries are the counter sampling points
 	if len(r.inflight) != 0 {
 		panic(fmt.Sprintf("core: %d migrations still in flight at batch end", len(r.inflight)))
 	}
@@ -399,7 +454,13 @@ func (r *Runtime) preemptiveEvict(start uint64, faults int) int {
 		at := st + cost + ptUpdateCycles
 		r.outFree = at
 		r.scheduleEviction(victim, life, at)
+		r.tr.Eviction(victim, st, at-st, true, true)
 		r.preFreed = append(r.preFreed, at)
+		r.stats.PreemptiveEv++
+		if done == 0 {
+			r.preWinStart = st
+		}
+		r.preWinEnd = at
 		done++
 	}
 	return done
@@ -414,6 +475,7 @@ func (r *Runtime) StartController() {
 	if !r.cfg.Policy.OversubscribesThreads() {
 		return
 	}
+	r.tr.Counter("to_degree", float64(r.toDegree))
 	var tick func()
 	tick = func() {
 		if r.stopped {
@@ -426,6 +488,9 @@ func (r *Runtime) StartController() {
 }
 
 func (r *Runtime) controllerStep() {
+	// Every evaluated window samples the degree, so the run's mean degree
+	// (metrics.Summary) weights each control interval equally.
+	r.stats.RecordTODegree(r.toDegree)
 	if r.winCount == 0 {
 		return // no evictions this window; keep the current degree
 	}
@@ -441,6 +506,7 @@ func (r *Runtime) controllerStep() {
 	// decrement/increment oscillation a two-way rule suffers under
 	// steady-state thrashing.
 	thr := r.cfg.UVM.LifetimeThreshold
+	prev := r.toDegree
 	switch {
 	case mean < r.prevMean*(1-thr):
 		if r.toDegree > 0 {
@@ -451,6 +517,9 @@ func (r *Runtime) controllerStep() {
 			r.toDegree++
 		}
 	}
+	if r.toDegree != prev {
+		r.tr.Counter("to_degree", float64(r.toDegree))
+	}
 	if r.cluster != nil {
 		r.cluster.SetOversubscription(r.toDegree)
 	}
@@ -459,26 +528,47 @@ func (r *Runtime) controllerStep() {
 // OversubDegree returns the controller's current degree.
 func (r *Runtime) OversubDegree() int { return r.toDegree }
 
-// mergeSorted merges two ascending slices with no duplicates across them.
+// mergeSorted merges two ascending slices, deduplicating across and
+// within them. The faulted and prefetched sets are disjoint by the
+// prefetcher's contract, but a planner bug must not turn into a page
+// scheduled for migration twice — that would double-schedule
+// completeMigration and double-count migrations and batch bytes — so the
+// merge enforces uniqueness itself.
 func mergeSorted(a, b []uint64) []uint64 {
 	out := make([]uint64, 0, len(a)+len(b))
+	push := func(v uint64) {
+		if n := len(out); n == 0 || out[n-1] != v {
+			out = append(out, v)
+		}
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		if a[i] <= b[j] {
-			out = append(out, a[i])
+			push(a[i])
 			i++
 		} else {
-			out = append(out, b[j])
+			push(b[j])
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
+	for ; i < len(a); i++ {
+		push(a[i])
+	}
+	for ; j < len(b); j++ {
+		push(b[j])
+	}
 	return out
 }
 
 func max64(a, b uint64) uint64 {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
 		return a
 	}
 	return b

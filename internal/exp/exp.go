@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"uvmsim/internal/core"
 	"uvmsim/internal/harness"
 	"uvmsim/internal/metrics"
+	"uvmsim/internal/telemetry"
 	"uvmsim/internal/trace"
 	"uvmsim/internal/workload"
 )
@@ -343,9 +345,43 @@ func (r *Runner) RunBatch(specs []RunSpec) error {
 	return err
 }
 
-// simExecutor is the harness executor for simulation jobs.
-func (r *Runner) simExecutor(_ context.Context, j harness.Job) (*metrics.Stats, error) {
-	return r.simulate(j.Workload, j.Config, j.Workload+"|"+j.Hash)
+// simExecutor is the harness executor for simulation jobs. When the pool
+// runs with a trace directory, the job's context carries a destination
+// path and the run is traced; tracing alters no simulated timing, so
+// traced and untraced runs produce identical stats and share cache
+// entries.
+func (r *Runner) simExecutor(ctx context.Context, j harness.Job) (*metrics.Stats, error) {
+	key := j.Workload + "|" + j.Hash
+	path := harness.TracePath(ctx)
+	if path == "" {
+		return r.simulate(j.Workload, j.Config, key)
+	}
+	w, err := r.Workload(j.Workload)
+	if err != nil {
+		return nil, err
+	}
+	stats, tr, err := core.RunTraced(j.Config, w)
+	if err != nil {
+		return stats, fmt.Errorf("exp: %s: %w", key, err)
+	}
+	if err := writeTraceFile(tr, path); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", key, err)
+	}
+	return stats, nil
+}
+
+// writeTraceFile exports one run's execution trace as Chrome trace-event
+// JSON.
+func writeTraceFile(tr *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // outcomeOf converts a harness result (fresh or cache-resumed) into the

@@ -12,6 +12,7 @@ import (
 	"uvmsim/internal/config"
 	"uvmsim/internal/metrics"
 	"uvmsim/internal/sim"
+	"uvmsim/internal/telemetry"
 	"uvmsim/internal/trace"
 	"uvmsim/internal/vm"
 )
@@ -54,6 +55,9 @@ type Cluster struct {
 	l2cache *Cache
 	sms     []*SM
 	sink    FaultSink
+
+	// tr is the execution tracer; nil disables tracing (nil-check no-ops).
+	tr *telemetry.Tracer
 
 	// waiters maps a faulted page to the warps stalled on it.
 	waiters map[uint64][]*Warp
@@ -122,6 +126,23 @@ func New(eng *sim.Engine, cfg *config.Config, stats *metrics.Stats, pt *vm.PageT
 		})
 	}
 	return c
+}
+
+// RegisterTelemetry attaches a tracer: context-switch spans are emitted
+// from then on, and the translation/cache counters join the tracer's
+// sampled registry. No-op with a nil tracer.
+func (c *Cluster) RegisterTelemetry(tr *telemetry.Tracer) {
+	c.tr = tr
+	tr.RegisterCounter("gpu.tlb_l1_hits", func() float64 { return float64(c.stats.TLBL1Hits) })
+	tr.RegisterCounter("gpu.tlb_l1_misses", func() float64 { return float64(c.stats.TLBL1Miss) })
+	tr.RegisterCounter("gpu.tlb_l2_hits", func() float64 { return float64(c.stats.TLBL2Hits) })
+	tr.RegisterCounter("gpu.tlb_l2_misses", func() float64 { return float64(c.stats.TLBL2Miss) })
+	tr.RegisterCounter("gpu.cache_l1_hits", func() float64 { return float64(c.stats.CacheL1Hit) })
+	tr.RegisterCounter("gpu.cache_l1_misses", func() float64 { return float64(c.stats.CacheL1Mis) })
+	tr.RegisterCounter("gpu.cache_l2_hits", func() float64 { return float64(c.stats.CacheL2Hit) })
+	tr.RegisterCounter("gpu.cache_l2_misses", func() float64 { return float64(c.stats.CacheL2Mis) })
+	tr.RegisterCounter("gpu.context_switches", func() float64 { return float64(c.stats.ContextSwitches) })
+	c.walker.RegisterTelemetry(tr)
 }
 
 // SetOversubscription sets the number of extra (inactive) thread blocks
@@ -631,6 +652,10 @@ func (c *Cluster) activate(sm *SM, b *Block, delay uint64) {
 		run()
 	} else {
 		c.stats.ContextSwitchCycles += delay
+		if c.tr.Enabled() {
+			c.tr.SpanArgs(telemetry.TrackSwitches, "restore", c.eng.Now(), delay,
+				map[string]any{"sm": sm.id, "block": b.idx})
+		}
 		c.eng.After(delay, run)
 	}
 }
@@ -692,6 +717,10 @@ func (c *Cluster) maybeSwitch(sm *SM) {
 	sm.switching = true
 	c.stats.ContextSwitches++
 	c.stats.ContextSwitchCycles += c.switchCycles
+	if c.tr.Enabled() {
+		c.tr.SpanArgs(telemetry.TrackSwitches, "ctx switch", c.eng.Now(), c.switchCycles,
+			map[string]any{"sm": sm.id, "out_block": victim.idx, "in_block": incoming.idx})
+	}
 	victim.active = false
 	removeBlock(&sm.active, victim)
 	sm.inactive = append(sm.inactive, victim)

@@ -15,6 +15,8 @@ package harness
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -45,17 +47,22 @@ type Options struct {
 	Cache *Cache
 	// Reporter receives progress; nil installs a silent one.
 	Reporter *Reporter
+	// TraceDir, when non-empty, asks executors to write one execution
+	// trace per freshly-run job into this directory (see TracePath). The
+	// directory must exist; cache hits produce no trace.
+	TraceDir string
 }
 
 // Pool runs job batches over a fixed-width worker pool. A Pool may be
 // reused across many Run calls (a sweep per figure, say); its reporter
 // accumulates totals across all of them.
 type Pool struct {
-	workers int
-	timeout time.Duration
-	retries int
-	cache   *Cache
-	rep     *Reporter
+	workers  int
+	timeout  time.Duration
+	retries  int
+	cache    *Cache
+	rep      *Reporter
+	traceDir string
 }
 
 // New builds a pool from opts.
@@ -74,11 +81,12 @@ func New(opts Options) *Pool {
 	}
 	rep.setWorkers(workers)
 	return &Pool{
-		workers: workers,
-		timeout: opts.Timeout,
-		retries: retries,
-		cache:   opts.Cache,
-		rep:     rep,
+		workers:  workers,
+		timeout:  opts.Timeout,
+		retries:  retries,
+		cache:    opts.Cache,
+		rep:      rep,
+		traceDir: opts.TraceDir,
 	}
 }
 
@@ -148,6 +156,11 @@ func (p *Pool) runJob(ctx context.Context, j Job, exec Executor) Result {
 		}
 	}
 	res := Result{ID: j.ID, Workload: j.Workload, Hash: j.Hash, Seed: j.Seed}
+	tracePath := ""
+	if p.traceDir != "" {
+		tracePath = filepath.Join(p.traceDir, traceFileName(j.ID))
+		ctx = withTracePath(ctx, tracePath)
+	}
 	start := time.Now()
 	var stats *metrics.Stats
 	var err error
@@ -161,6 +174,11 @@ func (p *Pool) runJob(ctx context.Context, j Job, exec Executor) Result {
 	res.WallNS = time.Since(start).Nanoseconds()
 	res.Stats = stats
 	res.PeakBatchPages = peakBatchPages(stats)
+	if tracePath != "" {
+		if _, serr := os.Stat(tracePath); serr == nil {
+			res.TraceFile = tracePath
+		}
+	}
 	if err != nil {
 		res.Err = err.Error()
 	}

@@ -28,6 +28,10 @@ type Result struct {
 	Attempts       int   `json:"attempts"`         // 1 + retries consumed
 	Cached         bool  `json:"cached,omitempty"` // served from the cache
 	PeakBatchPages int   `json:"peak_batch_pages,omitempty"`
+	// TraceFile is the execution trace written for this job when the pool
+	// ran with Options.TraceDir (empty for cache hits and untraced runs).
+	// Not part of the cached result: traces are per-execution artifacts.
+	TraceFile string `json:"-"`
 }
 
 // Key returns the result's cache identity (mirrors Job.Key).

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uvmsim/internal/metrics"
+)
+
+func TestPoolTraceDirPlumbsPathToExecutor(t *testing.T) {
+	dir := t.TempDir()
+	p := New(Options{Jobs: 2, TraceDir: dir})
+	jobs := []Job{fakeJob(0), fakeJob(1)}
+	results, err := p.Run(context.Background(), jobs, func(ctx context.Context, j Job) (*metrics.Stats, error) {
+		path := TracePath(ctx)
+		if path == "" {
+			t.Errorf("job %s: no trace path in context", j.ID)
+			return statsFor(j), nil
+		}
+		if filepath.Dir(path) != dir {
+			t.Errorf("job %s: trace path %q outside trace dir %q", j.ID, path, dir)
+		}
+		if err := os.WriteFile(path, []byte(`{"traceEvents":[]}`), 0o644); err != nil {
+			return nil, err
+		}
+		return statsFor(j), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.TraceFile == "" {
+			t.Fatalf("job %d: no trace file recorded", i)
+		}
+		if _, err := os.Stat(res.TraceFile); err != nil {
+			t.Fatalf("job %d: trace file missing: %v", i, err)
+		}
+	}
+	// Distinct jobs must land in distinct files.
+	if results[0].TraceFile == results[1].TraceFile {
+		t.Fatalf("jobs share trace file %q", results[0].TraceFile)
+	}
+}
+
+func TestPoolWithoutTraceDirHasNoTracePath(t *testing.T) {
+	p := New(Options{Jobs: 1})
+	jobs := []Job{fakeJob(0)}
+	results, err := p.Run(context.Background(), jobs, func(ctx context.Context, j Job) (*metrics.Stats, error) {
+		if TracePath(ctx) != "" {
+			t.Error("trace path set without TraceDir")
+		}
+		return statsFor(j), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].TraceFile != "" {
+		t.Fatalf("untraced run recorded trace file %q", results[0].TraceFile)
+	}
+}
+
+func TestTraceFileNameSanitizesJobIDs(t *testing.T) {
+	got := traceFileName("fig11/BFS-TTC/TO+UE r0.50")
+	want := "fig11_BFS-TTC_TO_UE_r0.50.trace.json"
+	if got != want {
+		t.Fatalf("traceFileName = %q, want %q", got, want)
+	}
+}

@@ -13,10 +13,14 @@ type statsJSON struct {
 	Prefetches   uint64 `json:"prefetches,omitempty"`
 	Evictions    uint64 `json:"evictions,omitempty"`
 	PrematureEv  uint64 `json:"premature_evictions,omitempty"`
+	PreemptiveEv uint64 `json:"preemptive_evictions,omitempty"`
 	FaultsRaised uint64 `json:"faults_raised,omitempty"`
 
 	ContextSwitches     uint64 `json:"context_switches,omitempty"`
 	ContextSwitchCycles uint64 `json:"context_switch_cycles,omitempty"`
+	TOFinalDegree       int    `json:"to_final_degree,omitempty"`
+	TODegreeSum         uint64 `json:"to_degree_sum,omitempty"`
+	TODegreeCount       uint64 `json:"to_degree_count,omitempty"`
 
 	RunaheadFaults uint64 `json:"runahead_faults,omitempty"`
 
@@ -44,9 +48,13 @@ func (s *Stats) MarshalJSON() ([]byte, error) {
 		Prefetches:          s.Prefetches,
 		Evictions:           s.Evictions,
 		PrematureEv:         s.PrematureEv,
+		PreemptiveEv:        s.PreemptiveEv,
 		FaultsRaised:        s.FaultsRaised,
 		ContextSwitches:     s.ContextSwitches,
 		ContextSwitchCycles: s.ContextSwitchCycles,
+		TOFinalDegree:       s.TOFinalDegree,
+		TODegreeSum:         s.toDegreeSum,
+		TODegreeCount:       s.toDegreeCount,
 		RunaheadFaults:      s.RunaheadFaults,
 		LifetimeSum:         s.lifetimeSum,
 		LifetimeCount:       s.lifetimeCount,
@@ -75,9 +83,13 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		Prefetches:          sj.Prefetches,
 		Evictions:           sj.Evictions,
 		PrematureEv:         sj.PrematureEv,
+		PreemptiveEv:        sj.PreemptiveEv,
 		FaultsRaised:        sj.FaultsRaised,
 		ContextSwitches:     sj.ContextSwitches,
 		ContextSwitchCycles: sj.ContextSwitchCycles,
+		TOFinalDegree:       sj.TOFinalDegree,
+		toDegreeSum:         sj.TODegreeSum,
+		toDegreeCount:       sj.TODegreeCount,
 		RunaheadFaults:      sj.RunaheadFaults,
 		lifetimeSum:         sj.LifetimeSum,
 		lifetimeCount:       sj.LifetimeCount,

@@ -16,9 +16,11 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 		Prefetches:          3,
 		Evictions:           2,
 		PrematureEv:         1,
+		PreemptiveEv:        2,
 		FaultsRaised:        5,
 		ContextSwitches:     6,
 		ContextSwitchCycles: 6000,
+		TOFinalDegree:       3,
 		RunaheadFaults:      2,
 		Cycles:              123456,
 		Instrs:              99,
@@ -27,6 +29,8 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 	}
 	s.RecordLifetime(400)
 	s.RecordLifetime(600)
+	s.RecordTODegree(2)
+	s.RecordTODegree(4)
 
 	data, err := json.Marshal(s)
 	if err != nil {
@@ -44,6 +48,11 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 	mean, ok := got.MeanLifetime()
 	if !ok || mean != 500 {
 		t.Fatalf("lifetime lost in round trip: mean=%v ok=%v", mean, ok)
+	}
+	// Same for the TO-degree accumulators.
+	toMean, ok := got.TOMeanDegree()
+	if !ok || toMean != 3 {
+		t.Fatalf("TO degree lost in round trip: mean=%v ok=%v", toMean, ok)
 	}
 }
 

@@ -38,11 +38,15 @@ type Stats struct {
 	Prefetches   uint64 // subset of Migrations initiated by the prefetcher
 	Evictions    uint64 // pages evicted GPU->CPU
 	PrematureEv  uint64 // evictions of pages later re-faulted
+	PreemptiveEv uint64 // evictions issued preemptively by the top-half ISR
 	FaultsRaised uint64 // page faults entering the fault buffer
 
 	// Thread oversubscription
 	ContextSwitches     uint64
 	ContextSwitchCycles uint64
+	TOFinalDegree       int // controller degree when the run stopped
+	toDegreeSum         uint64
+	toDegreeCount       uint64
 
 	// RunaheadFaults counts speculative faults raised by runahead.
 	RunaheadFaults uint64
@@ -80,6 +84,22 @@ func (s *Stats) MeanLifetime() (mean float64, ok bool) {
 		return 0, false
 	}
 	return float64(s.lifetimeSum) / float64(s.lifetimeCount), true
+}
+
+// RecordTODegree accumulates one controller-window sample of the
+// thread-oversubscription degree.
+func (s *Stats) RecordTODegree(degree int) {
+	s.toDegreeSum += uint64(degree)
+	s.toDegreeCount++
+}
+
+// TOMeanDegree returns the mean oversubscription degree across controller
+// windows, or 0 with ok=false when the controller never ticked.
+func (s *Stats) TOMeanDegree() (mean float64, ok bool) {
+	if s.toDegreeCount == 0 {
+		return 0, false
+	}
+	return float64(s.toDegreeSum) / float64(s.toDegreeCount), true
 }
 
 // NumBatches returns the number of completed batches.

@@ -16,11 +16,15 @@ type Summary struct {
 	Migrations     uint64  `json:"migrations"`
 	Prefetches     uint64  `json:"prefetches"`
 	Evictions      uint64  `json:"evictions"`
+	PrematureEv    uint64  `json:"premature_evictions"`
+	PreemptiveEv   uint64  `json:"preemptive_evictions"`
 	PrematureRate  float64 `json:"premature_eviction_rate"`
 	RunaheadFaults uint64  `json:"runahead_faults"`
 
-	ContextSwitches     uint64 `json:"context_switches"`
-	ContextSwitchCycles uint64 `json:"context_switch_cycles"`
+	ContextSwitches     uint64  `json:"context_switches"`
+	ContextSwitchCycles uint64  `json:"context_switch_cycles"`
+	TOFinalDegree       int     `json:"to_final_degree"`
+	TOMeanDegree        float64 `json:"to_mean_degree"`
 
 	TLBL1Hits  uint64 `json:"tlb_l1_hits"`
 	TLBL1Miss  uint64 `json:"tlb_l1_misses"`
@@ -45,6 +49,7 @@ type BatchRecord struct {
 
 // Summary collapses the stats into the exportable aggregate view.
 func (s *Stats) Summary() Summary {
+	toMean, _ := s.TOMeanDegree()
 	return Summary{
 		Cycles:                    s.Cycles,
 		Instrs:                    s.Instrs,
@@ -57,10 +62,14 @@ func (s *Stats) Summary() Summary {
 		Migrations:                s.Migrations,
 		Prefetches:                s.Prefetches,
 		Evictions:                 s.Evictions,
+		PrematureEv:               s.PrematureEv,
+		PreemptiveEv:              s.PreemptiveEv,
 		PrematureRate:             s.PrematureEvictionRate(),
 		RunaheadFaults:            s.RunaheadFaults,
 		ContextSwitches:           s.ContextSwitches,
 		ContextSwitchCycles:       s.ContextSwitchCycles,
+		TOFinalDegree:             s.TOFinalDegree,
+		TOMeanDegree:              toMean,
 		TLBL1Hits:                 s.TLBL1Hits,
 		TLBL1Miss:                 s.TLBL1Miss,
 		TLBL2Hits:                 s.TLBL2Hits,

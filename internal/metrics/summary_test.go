@@ -13,6 +13,10 @@ func TestSummaryRoundTrip(t *testing.T) {
 	s.Migrations = 10
 	s.Evictions = 4
 	s.PrematureEv = 1
+	s.PreemptiveEv = 2
+	s.TOFinalDegree = 1
+	s.RecordTODegree(1)
+	s.RecordTODegree(3)
 	s.RecordBatch(Batch{Start: 0, FirstMigration: 20, End: 100, Faults: 2, Pages: 3, Bytes: 3 * 65536})
 	sum := s.Summary()
 	if sum.Cycles != 1234 || sum.Batches != 1 || sum.MeanBatchPages != 3 {
@@ -20,6 +24,12 @@ func TestSummaryRoundTrip(t *testing.T) {
 	}
 	if sum.PrematureRate != 0.25 {
 		t.Fatalf("premature rate = %v", sum.PrematureRate)
+	}
+	if sum.PrematureEv != 1 || sum.PreemptiveEv != 2 {
+		t.Fatalf("eviction counts = %d/%d, want 1/2", sum.PrematureEv, sum.PreemptiveEv)
+	}
+	if sum.TOFinalDegree != 1 || sum.TOMeanDegree != 2 {
+		t.Fatalf("TO degrees = %d/%v, want 1/2", sum.TOFinalDegree, sum.TOMeanDegree)
 	}
 	data, err := json.Marshal(sum)
 	if err != nil {

@@ -3,6 +3,7 @@ package vm
 import (
 	"uvmsim/internal/mmu"
 	"uvmsim/internal/sim"
+	"uvmsim/internal/telemetry"
 )
 
 // Walker is the shared, highly-threaded page-table walker: up to Slots
@@ -121,6 +122,14 @@ func (w *Walker) finish(page PageID, missed []uint64) {
 // queue depth observed.
 func (w *Walker) Stats() (walks, coalesced uint64, maxQueue int) {
 	return w.walks, w.coalesced, w.queuedMax
+}
+
+// RegisterTelemetry exposes the walker's counters to the tracer's sampled
+// counter registry (no-op on a nil tracer).
+func (w *Walker) RegisterTelemetry(tr *telemetry.Tracer) {
+	tr.RegisterCounter("vm.walks", func() float64 { return float64(w.walks) })
+	tr.RegisterCounter("vm.walks_coalesced", func() float64 { return float64(w.coalesced) })
+	tr.RegisterCounter("vm.walk_queue_max", func() float64 { return float64(w.queuedMax) })
 }
 
 // upperKey identifies the page-table node touched at the given level of the
