@@ -23,6 +23,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -77,7 +79,17 @@ func main() {
 	resume := flag.Bool("resume", false, "reuse cached results from an earlier (possibly interrupted) sweep; implies -cachedir "+defaultCacheDir+" when unset")
 	benchJSON := flag.String("bench-json", "", "write sweep telemetry (wall time, speedup, cache hits) to this JSON file")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event JSON execution trace per freshly-run job into this directory (cache hits are not traced)")
+	compiled := flag.Bool("compiled", true, "replay workloads from compiled flat traces shared across jobs (identical results; -compiled=false regenerates streams live, using less memory)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	p := workload.Default()
 	p.Seed = *seed
@@ -166,6 +178,7 @@ func main() {
 	r := exp.NewRunner(p, base)
 	r.Pool = pool
 	r.Ctx = ctx
+	r.Live = !*compiled
 	if *suite != "" {
 		r.Suite = strings.Split(*suite, ",")
 	}
@@ -208,6 +221,41 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// startProfiles starts a CPU profile and/or arranges a heap profile, per
+// the -cpuprofile/-memprofile flags. The returned stop function finishes
+// both; it is safe to call with either path empty.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 func cacheLabel(c *harness.Cache) string {

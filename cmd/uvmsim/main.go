@@ -54,6 +54,7 @@ func main() {
 	traceOut := flag.String("traceout", "", "write the workload's access trace to this file and exit")
 	traceIn := flag.String("tracein", "", "simulate a trace file (written by -traceout) instead of building -workload")
 	execTrace := flag.String("trace", "", "write a Chrome trace-event JSON execution trace (Perfetto-loadable) to this file")
+	compiled := flag.Bool("compiled", false, "compile the workload to the flat in-process trace form before simulating (identical results, faster replay)")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +67,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
 		os.Exit(2)
 	}
+
+	cfg := config.Default()
+	cfg.Policy = pol
+	cfg.UVM.OversubscriptionRatio = *ratio
+	cfg.UVM.FaultHandlingUS = *handling
+	cfg.Preload = *preload
+	cfg.UVM.RunaheadDepth = *runahead
+	cfg.GPU.NumSMs = *sms
+	cfg.GPU.DRAMBytesPerCycle = *dram
+	cfg.GPU.IssueSlotsPerCycle = *issue
+	cfg.UVM.TrackDirty = *dirty
 
 	var w *trace.Workload
 	var err error
@@ -97,7 +109,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := trace.EncodeWorkload(w, f); err != nil {
+		if err := trace.EncodeWorkload(w, cfg.GPU.WarpSize, f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -109,16 +121,14 @@ func main() {
 		return
 	}
 
-	cfg := config.Default()
-	cfg.Policy = pol
-	cfg.UVM.OversubscriptionRatio = *ratio
-	cfg.UVM.FaultHandlingUS = *handling
-	cfg.Preload = *preload
-	cfg.UVM.RunaheadDepth = *runahead
-	cfg.GPU.NumSMs = *sms
-	cfg.GPU.DRAMBytesPerCycle = *dram
-	cfg.GPU.IssueSlotsPerCycle = *issue
-	cfg.UVM.TrackDirty = *dirty
+	if *compiled {
+		c, cerr := trace.Compile(w, cfg.GPU.WarpSize)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			os.Exit(1)
+		}
+		w = c.Workload()
+	}
 
 	var stats *metrics.Stats
 	if *execTrace != "" {

@@ -25,6 +25,7 @@ type Allocator struct {
 	index    map[uint64]*node
 	head     *node // sentinel; head.next is the oldest page
 	tail     *node // sentinel; tail.prev is the newest page
+	free     *node // recycled nodes, singly linked through next
 }
 
 // NewAllocator returns an allocator with the given frame capacity.
@@ -71,7 +72,13 @@ func (a *Allocator) Add(page uint64, now uint64) {
 	if a.Has(page) {
 		panic(fmt.Sprintf("core: page %d already allocated", page))
 	}
-	n := &node{page: page, allocAt: now}
+	n := a.free
+	if n != nil {
+		a.free = n.next
+		n.page, n.allocAt = page, now
+	} else {
+		n = &node{page: page, allocAt: now}
+	}
 	n.prev = a.tail.prev
 	n.next = a.tail
 	n.prev.next = n
@@ -79,7 +86,8 @@ func (a *Allocator) Add(page uint64, now uint64) {
 	a.index[page] = n
 }
 
-// Remove frees the frame of page.
+// Remove frees the frame of page. The node is recycled; its page field
+// survives until the next Add (PopVictim reads it after removal).
 func (a *Allocator) Remove(page uint64) {
 	n, ok := a.index[page]
 	if !ok {
@@ -88,6 +96,9 @@ func (a *Allocator) Remove(page uint64) {
 	n.prev.next = n.next
 	n.next.prev = n.prev
 	delete(a.index, page)
+	n.prev = nil
+	n.next = a.free
+	a.free = n
 }
 
 // PopVictim removes and returns the oldest-allocated page. ok is false

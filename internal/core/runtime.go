@@ -81,7 +81,69 @@ type Runtime struct {
 	prevMean float64
 	havePrev bool
 
+	// migPool and evictPool recycle the per-page completion events
+	// planMigrations schedules, and plannedBuf its per-batch arrival
+	// scratch; every migrated page passes through here, so per-event
+	// closures would dominate the runtime's allocation profile.
+	migPool    []*migEvent
+	evictPool  []*evictEvent
+	plannedBuf []arrival
+
 	stopped bool
+}
+
+// migEvent is a pooled "migration complete" callback: fn is bound once so
+// scheduling a page's arrival never allocates.
+type migEvent struct {
+	r    *Runtime
+	page uint64
+	fn   func()
+}
+
+// evictEvent is the eviction counterpart of migEvent.
+type evictEvent struct {
+	r         *Runtime
+	victim    uint64
+	lifeStart uint64
+	at        uint64
+	fn        func()
+}
+
+// arrival records one of the active batch's own planned migrations, so an
+// oversized batch can victimize its earliest arrivals.
+type arrival struct {
+	page uint64
+	done uint64
+}
+
+func (r *Runtime) getMigEvent() *migEvent {
+	if n := len(r.migPool); n > 0 {
+		e := r.migPool[n-1]
+		r.migPool = r.migPool[:n-1]
+		return e
+	}
+	e := &migEvent{r: r}
+	e.fn = func() {
+		rt, page := e.r, e.page
+		rt.migPool = append(rt.migPool, e) // fields copied out; safe to recycle
+		rt.completeMigration(page)
+	}
+	return e
+}
+
+func (r *Runtime) getEvictEvent() *evictEvent {
+	if n := len(r.evictPool); n > 0 {
+		e := r.evictPool[n-1]
+		r.evictPool = r.evictPool[:n-1]
+		return e
+	}
+	e := &evictEvent{r: r}
+	e.fn = func() {
+		rt, victim, lifeStart, at := e.r, e.victim, e.lifeStart, e.at
+		rt.evictPool = append(rt.evictPool, e)
+		rt.completeEviction(victim, lifeStart, at)
+	}
+	return e
 }
 
 // NewRuntime builds the runtime. capacityPages is the device memory size in
@@ -279,12 +341,9 @@ func (r *Runtime) planMigrations(start, t0 uint64, pages []uint64) (evictions in
 	firstMigSet := false
 
 	// planned tracks this batch's own migrations so that a batch larger
-	// than device memory can victimize its own earliest arrivals.
-	type arrival struct {
-		page uint64
-		done uint64
-	}
-	var planned []arrival
+	// than device memory can victimize its own earliest arrivals. The
+	// scratch slice lives on the Runtime; one batch at a time uses it.
+	planned := r.plannedBuf[:0]
 	plannedAlive := 0 // planned migrations not victimized by this batch
 	nextSelfVictim := 0
 
@@ -357,10 +416,12 @@ func (r *Runtime) planMigrations(start, t0 uint64, pages []uint64) (evictions in
 		}
 		planned = append(planned, arrival{pg, migDone})
 		plannedAlive++
-		page := pg
-		r.eng.Schedule(migDone, func() { r.completeMigration(page) })
+		e := r.getMigEvent()
+		e.page = pg
+		r.eng.Schedule(migDone, e.fn)
 		lastDone = migDone
 	}
+	r.plannedBuf = planned
 	r.outFree = outChan
 	if !firstMigSet {
 		firstMig = t0
@@ -368,28 +429,34 @@ func (r *Runtime) planMigrations(start, t0 uint64, pages []uint64) (evictions in
 	return evictions, firstMig, lastDone
 }
 
-// scheduleEviction completes an eviction at the given cycle: page tables
-// updated, TLBs shot down, frame freed, lifetime recorded.
+// scheduleEviction completes an eviction at the given cycle via a pooled
+// event (per-eviction closures would churn the allocator).
 func (r *Runtime) scheduleEviction(victim, lifeStart, at uint64) {
-	r.eng.Schedule(at, func() {
-		r.pt.Unmap(victim)
-		if r.cluster != nil {
-			r.cluster.InvalidatePage(victim)
-			r.cluster.ClearDirty(victim)
-		}
-		r.stats.Evictions++
-		life := at - lifeStart
-		r.stats.RecordLifetime(life)
-		r.winSum += life
-		r.winCount++
-		r.evicted[victim] = true
-		// If the victim was a self-victim from the active batch, it is
-		// resident right now (its arrival fired earlier) and must be
-		// deallocated.
-		if r.alloc.Has(victim) {
-			r.alloc.Remove(victim)
-		}
-	})
+	e := r.getEvictEvent()
+	e.victim, e.lifeStart, e.at = victim, lifeStart, at
+	r.eng.Schedule(at, e.fn)
+}
+
+// completeEviction finishes an eviction: page tables updated, TLBs shot
+// down, frame freed, lifetime recorded.
+func (r *Runtime) completeEviction(victim, lifeStart, at uint64) {
+	r.pt.Unmap(victim)
+	if r.cluster != nil {
+		r.cluster.InvalidatePage(victim)
+		r.cluster.ClearDirty(victim)
+	}
+	r.stats.Evictions++
+	life := at - lifeStart
+	r.stats.RecordLifetime(life)
+	r.winSum += life
+	r.winCount++
+	r.evicted[victim] = true
+	// If the victim was a self-victim from the active batch, it is
+	// resident right now (its arrival fired earlier) and must be
+	// deallocated.
+	if r.alloc.Has(victim) {
+		r.alloc.Remove(victim)
+	}
 }
 
 // completeMigration lands one page in device memory.

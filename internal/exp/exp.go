@@ -129,17 +129,25 @@ type Runner struct {
 	Pool *harness.Pool
 	// Ctx cancels harness sweeps; nil means context.Background().
 	Ctx context.Context
+	// Live disables the compiled flat-trace replay path: workloads are
+	// then simulated from freshly generated streams, as before the
+	// compile step existed. Results are byte-identical either way (the
+	// determinism suite guards this); live trades replay speed for not
+	// holding the flattened access arrays in memory.
+	Live bool
+	// Builds is the in-process build cache every job of a sweep shares:
+	// one (workload, params, seed) point is built — and, unless Live is
+	// set, compiled — exactly once per process, no matter how many
+	// parallel jobs or figures need it. NewRunner installs a private
+	// cache; replace it to share builds across runners.
+	Builds *harness.BuildCache
 
-	mu        sync.Mutex
-	workloads map[string]*wlOutcome
-	results   map[string]*runOutcome
-}
+	mu      sync.Mutex
+	results map[string]*runOutcome
 
-// wlOutcome is a claimed workload build: ready closes once w/err are set.
-type wlOutcome struct {
-	ready chan struct{}
-	w     *trace.Workload
-	err   error
+	hashOnce   sync.Once
+	paramsHash string
+	hashErr    error
 }
 
 // runOutcome is a claimed simulation run: ready closes once stats/err
@@ -152,13 +160,14 @@ type runOutcome struct {
 }
 
 // NewRunner builds a runner over the given workload parameters and base
-// configuration.
+// configuration. The compiled replay path is on by default (set Live to
+// opt out).
 func NewRunner(p workload.Params, base config.Config) *Runner {
 	return &Runner{
-		Params:    p,
-		Base:      base,
-		workloads: make(map[string]*wlOutcome),
-		results:   make(map[string]*runOutcome),
+		Params:  p,
+		Base:    base,
+		Builds:  harness.NewBuildCache(),
+		results: make(map[string]*runOutcome),
 	}
 }
 
@@ -178,23 +187,51 @@ func (r *Runner) suite() []string {
 	return irregularSet
 }
 
+// workloadKey is the build-cache identity of a workload: name, the full
+// generation-parameter hash (which covers the seed), the warp size the
+// streams are enumerated at, and whether the build is compiled or live.
+func (r *Runner) workloadKey(name string) (string, error) {
+	r.hashOnce.Do(func() {
+		r.paramsHash, r.hashErr = harness.HashParts(r.Params)
+	})
+	if r.hashErr != nil {
+		return "", r.hashErr
+	}
+	form := "compiled"
+	if r.Live {
+		form = "live"
+	}
+	return fmt.Sprintf("%s|%s|%d|w%d|%s",
+		name, r.paramsHash, r.Params.Seed, r.Base.GPU.WarpSize, form), nil
+}
+
 // Workload returns (building and caching) the named workload. Concurrent
-// callers for the same name coalesce onto one build.
+// callers for the same name coalesce onto one build through the shared
+// build cache; unless Live is set, the build is compiled to the flat
+// trace form once and every simulation replays the same immutable arrays.
 func (r *Runner) Workload(name string) (*trace.Workload, error) {
-	r.mu.Lock()
-	e, ok := r.workloads[name]
-	if !ok {
-		e = &wlOutcome{ready: make(chan struct{})}
-		r.workloads[name] = e
+	key, err := r.workloadKey(name)
+	if err != nil {
+		return nil, err
 	}
-	r.mu.Unlock()
-	if !ok {
-		e.w, e.err = workload.Build(name, r.Params)
-		close(e.ready)
-	} else {
-		<-e.ready
+	v, err := r.Builds.Get(key, func() (any, error) {
+		w, err := workload.Build(name, r.Params)
+		if err != nil || r.Live {
+			return w, err
+		}
+		c, err := trace.Compile(w, r.Base.GPU.WarpSize)
+		if err != nil {
+			return nil, err
+		}
+		// The compiled view references only the flattened arrays and the
+		// Space; the live closures (and the graph behind them) become
+		// garbage once this returns.
+		return c.Workload(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return e.w, e.err
+	return v.(*trace.Workload), nil
 }
 
 // jobIdentity computes a run's cache identity: a hash over the workload

@@ -96,6 +96,18 @@ type Cluster struct {
 	// memory instruction, so allocating fresh key slices there dominated
 	// the simulator's allocation profile.
 	keyPool [][]uint64
+
+	// opPool and xlatPool recycle the per-instruction fan-out state and
+	// per-page translation requests. Together with the prebaked per-warp
+	// completion closures (Warp.resumeFn/issueMemFn) they make the
+	// issue -> translate -> resolve path allocation-free in steady state;
+	// before, the closures it allocated per access dominated the profile
+	// once key slices were pooled.
+	opPool   []*memOp
+	xlatPool []*xlatReq
+
+	// waiterPool recycles the per-page waiter lists keyed into waiters.
+	waiterPool [][]*Warp
 }
 
 // New assembles a cluster from the shared page table. sink may be nil for
@@ -270,13 +282,23 @@ func (c *Cluster) dispatchBlock(sm *SM, active bool) (*Block, bool) {
 	c.nextBlock++
 	b := &Block{idx: idx, sm: sm, active: active}
 	nWarps := c.kernel.WarpsPerBlock(c.warpSize)
+	b.warps = make([]*Warp, 0, nWarps)
 	for w := 0; w < nWarps; w++ {
-		b.warps = append(b.warps, &Warp{
+		wp := &Warp{
 			id:     w,
 			block:  b,
 			stream: c.kernel.NewWarpStream(idx, w),
 			state:  WarpReady,
-		})
+		}
+		// Prebake the two completion callbacks the warp reschedules with
+		// on every instruction, so the per-access hot path never allocates
+		// a closure.
+		wp.resumeFn = func() {
+			wp.state = WarpReady
+			c.issueWarp(wp)
+		}
+		wp.issueMemFn = func() { c.issueMemory(wp, wp.pendingAcc) }
+		b.warps = append(b.warps, wp)
 	}
 	return b, true
 }
@@ -324,19 +346,62 @@ func (c *Cluster) issueWarp(w *Warp) {
 	}
 	delay += c.issueQueueDelay(sm)
 	if acc.IsMemory() {
-		a := acc
-		c.eng.After(delay, func() { c.issueMemory(w, a) })
+		// The warp stays Busy until issueMemFn fires, so pendingAcc cannot
+		// be overwritten by a second in-flight instruction.
+		w.pendingAcc = acc
+		c.eng.After(delay, w.issueMemFn)
 	} else {
-		c.eng.After(delay, func() {
-			w.state = WarpReady
-			c.issueWarp(w)
-		})
+		c.eng.After(delay, w.resumeFn)
 	}
 	if c.traditionalSwitch {
 		// In stall-triggered mode the block may have just lost its last
 		// ready warp.
 		c.maybeSwitch(sm)
 	}
+}
+
+// memOp tracks one memory instruction's translation fan-out: how many
+// page translations are still outstanding and which pages faulted. Ops
+// are pooled on the cluster; one is live from issueMemory until the last
+// page resolves.
+type memOp struct {
+	c       *Cluster
+	w       *Warp
+	acc     trace.Access
+	lines   []uint64
+	pending int
+	faulted []uint64
+}
+
+// pageDone records one page's translation answer; the last one completes
+// the instruction and recycles the op.
+func (op *memOp) pageDone(page uint64, resident bool) {
+	if !resident {
+		op.faulted = append(op.faulted, page)
+	}
+	op.pending--
+	if op.pending == 0 {
+		c := op.c
+		c.memoryResolved(op.w, op.acc, op.lines, op.faulted)
+		c.putOp(op) // memoryResolved fully consumed faulted; safe to recycle
+	}
+}
+
+func (c *Cluster) getOp() *memOp {
+	if n := len(c.opPool); n > 0 {
+		op := c.opPool[n-1]
+		c.opPool = c.opPool[:n-1]
+		return op
+	}
+	return &memOp{c: c}
+}
+
+func (c *Cluster) putOp(op *memOp) {
+	op.w = nil
+	op.acc = trace.Access{}
+	op.lines = nil
+	op.faulted = op.faulted[:0]
+	c.opPool = append(c.opPool, op)
 }
 
 // issueMemory coalesces the access's lanes, translates the touched pages,
@@ -347,23 +412,15 @@ func (c *Cluster) issueMemory(w *Warp, acc trace.Access) {
 	pages := uniqueKeysInto(c.getKeys(), acc.Addrs, pageBytes)
 	lines := uniqueKeysInto(c.getKeys(), acc.Addrs, lineBytes)
 
-	remaining := len(pages)
-	var faulted []uint64
+	op := c.getOp()
+	op.w, op.acc, op.lines = w, acc, lines
+	op.pending = len(pages)
 	for _, p := range pages {
-		p := p
-		c.translate(w.block.sm, p, func(resident bool) {
-			if !resident {
-				faulted = append(faulted, p)
-			}
-			remaining--
-			if remaining == 0 {
-				c.memoryResolved(w, acc, lines, faulted)
-			}
-		})
+		c.translate(w.block.sm, p, op)
 	}
-	// The translate callbacks capture individual page values, never the
-	// slice, so pages can be recycled as soon as the fan-out completes.
-	// lines is owned by memoryResolved, which releases it.
+	// translate fan-out copies page values, never the slice, so pages can
+	// be recycled as soon as the loop completes. lines is owned by
+	// memoryResolved, which releases it.
 	c.putKeys(pages)
 }
 
@@ -378,12 +435,16 @@ func (c *Cluster) memoryResolved(w *Warp, acc trace.Access, lines, faulted []uin
 		w.state = WarpFaultStalled
 		w.hasReplay = true
 		w.replayAcc = acc
-		w.pendingPgs = make(map[uint64]struct{}, len(faulted))
+		w.pendingPgs = w.pendingPgs[:0]
 		b := w.block
 		b.faultStalled++
 		for _, p := range faulted {
-			w.pendingPgs[p] = struct{}{}
-			c.waiters[p] = append(c.waiters[p], w)
+			w.pendingPgs = append(w.pendingPgs, p)
+			ws, ok := c.waiters[p]
+			if !ok {
+				ws = c.getWaiters()
+			}
+			c.waiters[p] = append(ws, w)
 			c.stats.FaultsRaised++
 			c.sink.RaiseFault(p)
 		}
@@ -398,10 +459,7 @@ func (c *Cluster) memoryResolved(w *Warp, acc trace.Access, lines, faulted []uin
 	}
 	lat := c.dataLatency(w.block.sm, lines)
 	c.putKeys(lines)
-	c.eng.After(lat, func() {
-		w.state = WarpReady
-		c.issueWarp(w)
-	})
+	c.eng.After(lat, w.resumeFn)
 }
 
 // runahead raises speculative faults for the pages of a fault-stalled
@@ -437,31 +495,76 @@ func (c *Cluster) runahead(w *Warp) {
 	c.putKeys(scratch)
 }
 
+// xlatReq is one page's trip through the translation hierarchy beyond the
+// L1 TLB. Requests are pooled on the cluster; l2Fn and walkFn are bound
+// once at construction so re-scheduling a request never allocates.
+type xlatReq struct {
+	c      *Cluster
+	sm     *SM
+	page   uint64
+	op     *memOp
+	l2Fn   func()
+	walkFn func(bool)
+}
+
+func (c *Cluster) getXlat() *xlatReq {
+	if n := len(c.xlatPool); n > 0 {
+		r := c.xlatPool[n-1]
+		c.xlatPool = c.xlatPool[:n-1]
+		return r
+	}
+	r := &xlatReq{c: c}
+	r.l2Fn = r.l2Stage
+	r.walkFn = r.walkDone
+	return r
+}
+
+func (c *Cluster) putXlat(r *xlatReq) {
+	r.sm = nil
+	r.op = nil
+	c.xlatPool = append(c.xlatPool, r)
+}
+
+// l2Stage runs after the L2 TLB latency: hit resolves the page, miss
+// hands the request to the shared page walker.
+func (r *xlatReq) l2Stage() {
+	c := r.c
+	if c.l2tlb.Lookup(r.page) {
+		c.stats.TLBL2Hits++
+		r.sm.l1tlb.Insert(r.page)
+		op, page := r.op, r.page
+		c.putXlat(r)
+		op.pageDone(page, true)
+		return
+	}
+	c.stats.TLBL2Miss++
+	c.walker.Walk(r.page, r.walkFn)
+}
+
+// walkDone receives the page walker's residency answer.
+func (r *xlatReq) walkDone(resident bool) {
+	c := r.c
+	if resident {
+		c.l2tlb.Insert(r.page)
+		r.sm.l1tlb.Insert(r.page)
+	}
+	op, page := r.op, r.page
+	c.putXlat(r)
+	op.pageDone(page, resident)
+}
+
 // translate resolves a page through L1 TLB -> L2 TLB -> page walker.
-// done(resident) may be called synchronously (L1 hit).
-func (c *Cluster) translate(sm *SM, page uint64, done func(bool)) {
+// op.pageDone(page, resident) may be called synchronously (L1 hit).
+func (c *Cluster) translate(sm *SM, page uint64, op *memOp) {
 	if sm.l1tlb.Lookup(page) {
 		c.stats.TLBL1Hits++
-		done(true)
+		op.pageDone(page, true)
 		return
 	}
 	c.stats.TLBL1Miss++
-	c.eng.After(c.cfg.GPU.L2Latency, func() {
-		if c.l2tlb.Lookup(page) {
-			c.stats.TLBL2Hits++
-			sm.l1tlb.Insert(page)
-			done(true)
-			return
-		}
-		c.stats.TLBL2Miss++
-		c.walker.Walk(page, func(resident bool) {
-			if resident {
-				c.l2tlb.Insert(page)
-				sm.l1tlb.Insert(page)
-			}
-			done(resident)
-		})
-	})
+	r := c.getXlat()
+	r.sm, r.page, r.op = sm, page, op
+	c.eng.After(c.cfg.GPU.L2Latency, r.l2Fn)
 }
 
 // dataLatency prices the data accesses of one warp instruction: lines are
@@ -545,7 +648,7 @@ func (c *Cluster) PageArrived(page uint64) {
 	}
 	delete(c.waiters, page)
 	for _, w := range ws {
-		delete(w.pendingPgs, page)
+		w.clearPending(page)
 		if len(w.pendingPgs) > 0 {
 			continue
 		}
@@ -558,6 +661,7 @@ func (c *Cluster) PageArrived(page uint64) {
 			c.maybeSwitch(b.sm) // an inactive block just became ready
 		}
 	}
+	c.putWaiters(ws)
 }
 
 // PageDirty reports whether page was written since it became resident
@@ -845,4 +949,22 @@ func (c *Cluster) getKeys() []uint64 {
 
 func (c *Cluster) putKeys(s []uint64) {
 	c.keyPool = append(c.keyPool, s[:0])
+}
+
+// getWaiters hands out a zero-length waiter list for a newly faulted
+// page; PageArrived returns it once the page's stall resolves.
+func (c *Cluster) getWaiters() []*Warp {
+	if n := len(c.waiterPool); n > 0 {
+		s := c.waiterPool[n-1]
+		c.waiterPool = c.waiterPool[:n-1]
+		return s
+	}
+	return make([]*Warp, 0, 8)
+}
+
+func (c *Cluster) putWaiters(s []*Warp) {
+	for i := range s {
+		s[i] = nil // drop warp references so retired blocks can be collected
+	}
+	c.waiterPool = append(c.waiterPool, s[:0])
 }

@@ -30,7 +30,29 @@ type Warp struct {
 	// resolves (GPU fault handling replays the access).
 	replayAcc  trace.Access
 	hasReplay  bool
-	pendingPgs map[uint64]struct{} // faulted pages still outstanding
+	pendingPgs []uint64 // faulted pages still outstanding (few; linear scan)
+
+	// pendingAcc carries a memory instruction across its compute delay to
+	// issueMemFn. Valid only while the warp is Busy on that instruction.
+	pendingAcc trace.Access
+
+	// resumeFn (mark ready and reissue) and issueMemFn (issue pendingAcc
+	// to the memory system) are bound once at warp creation; the per-
+	// instruction hot path schedules them instead of allocating closures.
+	resumeFn   func()
+	issueMemFn func()
+}
+
+// clearPending removes page from the warp's outstanding fault set.
+func (w *Warp) clearPending(page uint64) {
+	for i, p := range w.pendingPgs {
+		if p == page {
+			last := len(w.pendingPgs) - 1
+			w.pendingPgs[i] = w.pendingPgs[last]
+			w.pendingPgs = w.pendingPgs[:last]
+			return
+		}
+	}
 }
 
 // Block is a thread block resident on an SM. A block is either active

@@ -1,0 +1,58 @@
+package harness
+
+import "sync"
+
+// BuildCache is an in-process, single-flight cache for expensive build
+// artifacts shared by the jobs of a sweep — compiled workload traces,
+// principally. It complements the on-disk result Cache: results are
+// small, serializable, and persist across processes; build artifacts are
+// large, in-memory-only, and worth computing exactly once per process no
+// matter how many parallel workers need them.
+//
+// Get coalesces concurrent callers of the same key onto one build:
+// the first caller runs build, everyone else blocks until it finishes,
+// and every caller receives the same value (or the same error — failures
+// are memoized too, so a broken build is not retried in a tight sweep
+// loop). Keys must capture everything that influences the artifact, e.g.
+// (workload name, params hash, seed, warp size).
+type BuildCache struct {
+	mu      sync.Mutex
+	entries map[string]*buildEntry
+}
+
+type buildEntry struct {
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// NewBuildCache returns an empty cache.
+func NewBuildCache() *BuildCache {
+	return &BuildCache{entries: make(map[string]*buildEntry)}
+}
+
+// Get returns the cached artifact for key, running build (exactly once
+// per key, regardless of concurrency) to produce it on first request.
+func (c *BuildCache) Get(key string, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &buildEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if !ok {
+		e.val, e.err = build()
+		close(e.ready)
+	} else {
+		<-e.ready
+	}
+	return e.val, e.err
+}
+
+// Len returns the number of cached keys (completed or in flight).
+func (c *BuildCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

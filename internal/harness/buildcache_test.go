@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBuildCacheSingleFlight hammers one key from many goroutines: the
+// build must run exactly once and every caller must see the same value.
+func TestBuildCacheSingleFlight(t *testing.T) {
+	c := NewBuildCache()
+	var builds atomic.Int32
+	artifact := &struct{ n int }{42}
+
+	const callers = 32
+	got := make([]any, callers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, err := c.Get("k", func() (any, error) {
+				builds.Add(1)
+				return artifact, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			got[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want 1", n)
+	}
+	for i, v := range got {
+		if v != artifact {
+			t.Fatalf("caller %d got %v, want the shared artifact", i, v)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d keys, want 1", c.Len())
+	}
+}
+
+// TestBuildCacheDistinctKeys builds independently per key.
+func TestBuildCacheDistinctKeys(t *testing.T) {
+	c := NewBuildCache()
+	a, _ := c.Get("a", func() (any, error) { return "A", nil })
+	b, _ := c.Get("b", func() (any, error) { return "B", nil })
+	if a != "A" || b != "B" {
+		t.Fatalf("got %v/%v", a, b)
+	}
+}
+
+// TestBuildCacheMemoizesErrors pins that a failed build is not retried.
+func TestBuildCacheMemoizesErrors(t *testing.T) {
+	c := NewBuildCache()
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.Get("k", func() (any, error) {
+			calls++
+			return nil, boom
+		})
+		if err != boom {
+			t.Fatalf("iteration %d: err = %v, want boom", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing build ran %d times, want 1", calls)
+	}
+}

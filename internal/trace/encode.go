@@ -7,15 +7,21 @@ package trace
 //
 // Layout (all integers varint-encoded except the magic):
 //
-//	magic "UVMTRC1\n"
+//	magic "UVMTRC2\n"
 //	name length, name bytes
 //	pageBytes, footprintBytes
 //	irregular flag (0/1)
+//	warp size (v2 only; v1 traces, magic "UVMTRC1\n", imply 32)
 //	kernel count, then per kernel:
 //	  name, blocks, threadsPerBlock, regsPerThread
 //	  per (block, warp): access count, then per access:
 //	    computeCycles, storeFlag, lane count, lane address deltas
 //	    (first lane absolute, following lanes delta-encoded)
+//
+// The warp size partitions threads into streams, so it is part of the
+// format: a trace captured at one warp size enumerates a different set of
+// (block, warp) streams than the same workload at another. v1 hardcoded
+// 32; v2 records the size used at capture, and DecodeWorkload reads both.
 //
 // Decoding materializes every stream in memory; the format is intended
 // for workload-scale traces (tens of millions of accesses), not
@@ -30,11 +36,21 @@ import (
 	"uvmsim/internal/layout"
 )
 
-var traceMagic = []byte("UVMTRC1\n")
+var (
+	traceMagic   = []byte("UVMTRC2\n")
+	traceMagicV1 = []byte("UVMTRC1\n") // readable; implies warp size 32
+)
 
-// EncodeWorkload drains every warp stream of w and writes the trace to
-// out. Streams must be pure (they are re-created afterwards as usual).
-func EncodeWorkload(w *Workload, out io.Writer) error {
+// EncodeWorkload drains every warp stream of w at the given warp size and
+// writes the trace to out. Streams must be pure (they are re-created
+// afterwards as usual). warpSize must match the simulated GPU's
+// configured warp size — it determines how threads partition into
+// streams, and it is recorded in the trace so decode reconstructs the
+// same partition.
+func EncodeWorkload(w *Workload, warpSize int, out io.Writer) error {
+	if warpSize <= 0 {
+		return fmt.Errorf("trace: EncodeWorkload warp size %d", warpSize)
+	}
 	bw := bufio.NewWriter(out)
 	if _, err := bw.Write(traceMagic); err != nil {
 		return err
@@ -52,23 +68,17 @@ func EncodeWorkload(w *Workload, out io.Writer) error {
 	} else {
 		putU(0)
 	}
+	putU(uint64(warpSize))
 	putU(uint64(len(w.Kernels)))
+	var accs []Access
 	for _, k := range w.Kernels {
 		putS(k.Name)
 		putU(uint64(k.Blocks))
 		putU(uint64(k.ThreadsPerBlock))
 		putU(uint64(k.RegsPerThread))
 		for b := 0; b < k.Blocks; b++ {
-			for wp := 0; wp < k.WarpsPerBlock(32); wp++ {
-				st := k.NewWarpStream(b, wp)
-				var accs []Access
-				for {
-					a, ok := st.Next()
-					if !ok {
-						break
-					}
-					accs = append(accs, a)
-				}
+			for wp := 0; wp < k.WarpsPerBlock(warpSize); wp++ {
+				accs = DrainWarp(k, b, wp, accs[:0])
 				putU(uint64(len(accs)))
 				for _, a := range accs {
 					putU(a.ComputeCycles)
@@ -94,16 +104,20 @@ func EncodeWorkload(w *Workload, out io.Writer) error {
 	return bw.Flush()
 }
 
-// DecodeWorkload reads a trace written by EncodeWorkload. The returned
-// workload's Space is a synthetic single-allocation space with the
-// recorded footprint (addresses are replayed verbatim).
+// DecodeWorkload reads a trace written by EncodeWorkload (either format
+// version; v1 traces imply warp size 32). The returned workload's Space is
+// a synthetic single-allocation space with the recorded footprint
+// (addresses are replayed verbatim). Its streams are partitioned at the
+// recorded warp size, so the simulation replaying it must run with the
+// same configured warp size.
 func DecodeWorkload(in io.Reader) (*Workload, error) {
 	br := bufio.NewReader(in)
 	magic := make([]byte, len(traceMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(magic) != string(traceMagic) {
+	v1 := string(magic) == string(traceMagicV1)
+	if string(magic) != string(traceMagic) && !v1 {
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
 	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -134,6 +148,16 @@ func DecodeWorkload(in io.Reader) (*Workload, error) {
 	irregularFlag, err := getU()
 	if err != nil {
 		return nil, err
+	}
+	warpSize := uint64(32)
+	if !v1 {
+		warpSize, err = getU()
+		if err != nil {
+			return nil, err
+		}
+		if warpSize == 0 || warpSize > 1<<16 {
+			return nil, fmt.Errorf("trace: recorded warp size %d", warpSize)
+		}
 	}
 	sp := layout.NewSpace(pageBytes)
 	if footprint > 0 {
@@ -167,7 +191,7 @@ func DecodeWorkload(in io.Reader) (*Workload, error) {
 			ThreadsPerBlock: int(tpb),
 			RegsPerThread:   int(regs),
 		}
-		warpsPerBlock := k.WarpsPerBlock(32)
+		warpsPerBlock := k.WarpsPerBlock(int(warpSize))
 		streams := make([][]Access, k.Blocks*warpsPerBlock)
 		for b := 0; b < k.Blocks; b++ {
 			for wp := 0; wp < warpsPerBlock; wp++ {

@@ -37,29 +37,45 @@ func sampleWorkload() *Workload {
 	}
 }
 
-func drainAll(w *Workload) []Access {
+func drainAll(w *Workload) []Access { return drainAllWarp(w, 32) }
+
+func drainAllWarp(w *Workload, warpSize int) []Access {
 	var out []Access
 	for _, k := range w.Kernels {
 		for b := 0; b < k.Blocks; b++ {
-			for wp := 0; wp < k.WarpsPerBlock(32); wp++ {
-				st := k.NewWarpStream(b, wp)
-				for {
-					a, ok := st.Next()
-					if !ok {
-						break
-					}
-					out = append(out, a)
-				}
+			for wp := 0; wp < k.WarpsPerBlock(warpSize); wp++ {
+				out = DrainWarp(k, b, wp, out)
 			}
 		}
 	}
 	return out
 }
 
+// accessesEqual compares two access sequences lane by lane.
+func accessesEqual(t *testing.T, label string, a, b []Access) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: access counts %d != %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ComputeCycles != b[i].ComputeCycles || a[i].Store != b[i].Store {
+			t.Fatalf("%s: access %d meta mismatch: %+v vs %+v", label, i, a[i], b[i])
+		}
+		if len(a[i].Addrs) != len(b[i].Addrs) {
+			t.Fatalf("%s: access %d lanes %d != %d", label, i, len(a[i].Addrs), len(b[i].Addrs))
+		}
+		for j := range a[i].Addrs {
+			if a[i].Addrs[j] != b[i].Addrs[j] {
+				t.Fatalf("%s: access %d lane %d: %#x != %#x", label, i, j, a[i].Addrs[j], b[i].Addrs[j])
+			}
+		}
+	}
+}
+
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	w := sampleWorkload()
 	var buf bytes.Buffer
-	if err := EncodeWorkload(w, &buf); err != nil {
+	if err := EncodeWorkload(w, 32, &buf); err != nil {
 		t.Fatal(err)
 	}
 	got, err := DecodeWorkload(&buf)
@@ -75,23 +91,86 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if len(got.Kernels) != len(w.Kernels) {
 		t.Fatalf("kernels %d != %d", len(got.Kernels), len(w.Kernels))
 	}
-	a, b := drainAll(w), drainAll(got)
-	if len(a) != len(b) {
-		t.Fatalf("access counts %d != %d", len(a), len(b))
+	accessesEqual(t, "roundtrip", drainAll(w), drainAll(got))
+}
+
+// TestEncodeDecodeNonDefaultWarpSize is the regression test for the
+// hardcoded WarpsPerBlock(32): capture at warp size 16 must partition
+// threads into twice as many streams and still round-trip exactly. Before
+// the warp size was threaded through (and recorded in the format), encode
+// walked 32-thread warps regardless, so any non-default warp size
+// produced a trace whose streams belonged to the wrong warps.
+func TestEncodeDecodeNonDefaultWarpSize(t *testing.T) {
+	w := sampleWorkload()
+	for _, ws := range []int{16, 64} {
+		var buf bytes.Buffer
+		if err := EncodeWorkload(w, ws, &buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeWorkload(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The decoded workload enumerates streams at the recorded warp
+		// size; the live workload drained at the same size must agree
+		// stream for stream.
+		accessesEqual(t, "warp-size roundtrip",
+			drainAllWarp(w, ws), drainAllWarp(got, ws))
+		// And the partition really is warp-size dependent: kernel k0 has
+		// 64 threads per block, so 16-wide warps yield 4 streams per
+		// block where 32-wide yield 2.
+		wantWarps := w.Kernels[0].WarpsPerBlock(ws)
+		if wantWarps == w.Kernels[0].WarpsPerBlock(32) {
+			t.Fatalf("warp size %d does not change the partition; test is vacuous", ws)
+		}
 	}
-	for i := range a {
-		if a[i].ComputeCycles != b[i].ComputeCycles || a[i].Store != b[i].Store {
-			t.Fatalf("access %d meta mismatch: %+v vs %+v", i, a[i], b[i])
-		}
-		if len(a[i].Addrs) != len(b[i].Addrs) {
-			t.Fatalf("access %d lanes %d != %d", i, len(a[i].Addrs), len(b[i].Addrs))
-		}
-		for j := range a[i].Addrs {
-			if a[i].Addrs[j] != b[i].Addrs[j] {
-				t.Fatalf("access %d lane %d: %#x != %#x", i, j, a[i].Addrs[j], b[i].Addrs[j])
-			}
+}
+
+func TestDecodeV1TraceImpliesWarp32(t *testing.T) {
+	w := sampleWorkload()
+	var buf bytes.Buffer
+	if err := EncodeWorkload(w, 32, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the trace as v1 by swapping the magic and dropping the
+	// warp-size varint (32 encodes as the single byte 0x20).
+	data := buf.Bytes()
+	copy(data, traceMagicV1)
+	// Find the warp-size byte: magic + name + pageBytes + footprint +
+	// irregular. Easier: re-encode by hand is brittle, so instead decode
+	// the v2 bytes, then check a synthesized v1 stream decodes too.
+	var v1 bytes.Buffer
+	v1.Write(traceMagicV1)
+	rest := data[len(traceMagic):]
+	// name len + name
+	nameLen := int(rest[0])
+	cut := 1 + nameLen
+	// pageBytes, footprint, irregular, warpSize varints follow; copy the
+	// first three, skip the fourth.
+	v1.Write(rest[:cut])
+	rest = rest[cut:]
+	for i := 0; i < 3; i++ {
+		n := varintLen(rest)
+		v1.Write(rest[:n])
+		rest = rest[n:]
+	}
+	rest = rest[varintLen(rest):] // drop warp size
+	v1.Write(rest)
+	got, err := DecodeWorkload(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accessesEqual(t, "v1 decode", drainAll(w), drainAll(got))
+}
+
+// varintLen returns the byte length of the uvarint at the head of b.
+func varintLen(b []byte) int {
+	for i := 0; i < len(b); i++ {
+		if b[i] < 0x80 {
+			return i + 1
 		}
 	}
+	return len(b)
 }
 
 func TestDecodeRejectsBadMagic(t *testing.T) {
@@ -103,7 +182,7 @@ func TestDecodeRejectsBadMagic(t *testing.T) {
 func TestDecodeRejectsTruncated(t *testing.T) {
 	w := sampleWorkload()
 	var buf bytes.Buffer
-	if err := EncodeWorkload(w, &buf); err != nil {
+	if err := EncodeWorkload(w, 32, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()

@@ -100,18 +100,32 @@ func (s *SliceStream) PeekAhead(i int) (Access, bool) {
 	return s.accs[s.pos+i], true
 }
 
+// DrainWarp creates a fresh stream for the given (block, warp) of k and
+// drains it into buf (reusing its capacity), returning the accesses in
+// program order. It is the one canonical stream-draining loop: trace
+// capture (EncodeWorkload), compilation (Compile), and the working-set
+// analyzer (PagesTouched) all consume streams through it, so their
+// semantics cannot drift apart.
+func DrainWarp(k Kernel, block, warp int, buf []Access) []Access {
+	st := k.NewWarpStream(block, warp)
+	for {
+		acc, ok := st.Next()
+		if !ok {
+			return buf
+		}
+		buf = append(buf, acc)
+	}
+}
+
 // PagesTouched drains a fresh stream for every warp of the given block and
 // returns the set of pages the block touches. Used by the Figure 1
 // working-set analysis and by tests.
 func PagesTouched(k Kernel, block, warpSize int, pageBytes uint64) map[uint64]struct{} {
 	pages := make(map[uint64]struct{})
+	var buf []Access
 	for w := 0; w < k.WarpsPerBlock(warpSize); w++ {
-		st := k.NewWarpStream(block, w)
-		for {
-			acc, ok := st.Next()
-			if !ok {
-				break
-			}
+		buf = DrainWarp(k, block, w, buf[:0])
+		for _, acc := range buf {
 			for _, a := range acc.Addrs {
 				pages[a/pageBytes] = struct{}{}
 			}

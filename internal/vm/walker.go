@@ -25,13 +25,29 @@ type Walker struct {
 	pwc        *walkCache
 
 	active   int
-	queue    []PageID
+	queue    []PageID // FIFO; qHead indexes the front to avoid re-slicing churn
+	qHead    int
 	inflight map[PageID][]func(resident bool)
+
+	// reqPool and cbPool recycle the per-walk completion events and the
+	// per-page callback lists, keeping steady-state walks allocation-free
+	// (the walker runs for every L2 TLB miss).
+	reqPool []*walkReq
+	cbPool  [][]func(resident bool)
 
 	// Stats
 	walks     uint64
 	coalesced uint64
 	queuedMax int
+}
+
+// walkReq is one in-flight walk's completion event: a prebound callback
+// plus the PWC keys to fill when it finishes.
+type walkReq struct {
+	w      *Walker
+	page   PageID
+	missed []uint64
+	fn     func()
 }
 
 // NewWalker builds a walker over the shared page table.
@@ -60,13 +76,13 @@ func (w *Walker) Walk(page PageID, done func(resident bool)) {
 		w.coalesced++
 		return
 	}
-	w.inflight[page] = []func(bool){done}
+	w.inflight[page] = append(w.getCbs(), done)
 	if w.active < w.slots {
 		w.start(page)
 	} else {
 		w.queue = append(w.queue, page)
-		if len(w.queue) > w.queuedMax {
-			w.queuedMax = len(w.queue)
+		if depth := len(w.queue) - w.qHead; depth > w.queuedMax {
+			w.queuedMax = depth
 		}
 	}
 }
@@ -74,8 +90,42 @@ func (w *Walker) Walk(page PageID, done func(resident bool)) {
 func (w *Walker) start(page PageID) {
 	w.active++
 	w.walks++
-	latency, missed := w.walkLatency(page)
-	w.eng.After(latency, func() { w.finish(page, missed) })
+	r := w.getReq()
+	r.page = page
+	var latency uint64
+	latency, r.missed = w.walkLatency(page, r.missed)
+	w.eng.After(latency, r.fn)
+}
+
+func (w *Walker) getReq() *walkReq {
+	if n := len(w.reqPool); n > 0 {
+		r := w.reqPool[n-1]
+		w.reqPool = w.reqPool[:n-1]
+		return r
+	}
+	r := &walkReq{w: w, missed: make([]uint64, 0, w.levels-1)}
+	r.fn = func() {
+		r.w.finish(r.page, r.missed)
+		r.missed = r.missed[:0]
+		r.w.reqPool = append(r.w.reqPool, r)
+	}
+	return r
+}
+
+func (w *Walker) getCbs() []func(bool) {
+	if n := len(w.cbPool); n > 0 {
+		s := w.cbPool[n-1]
+		w.cbPool = w.cbPool[:n-1]
+		return s
+	}
+	return make([]func(bool), 0, 8)
+}
+
+func (w *Walker) putCbs(s []func(bool)) {
+	for i := range s {
+		s[i] = nil // release the captured translation requests
+	}
+	w.cbPool = append(w.cbPool, s[:0])
 }
 
 // walkLatency prices one walk against the page-walk cache and returns the
@@ -84,9 +134,8 @@ func (w *Walker) start(page PageID) {
 // another was still in flight take PWC hits on entries whose memory
 // accesses had not happened yet, under-pricing overlapping walks to
 // sibling pages.
-func (w *Walker) walkLatency(page PageID) (uint64, []uint64) {
+func (w *Walker) walkLatency(page PageID, missed []uint64) (uint64, []uint64) {
 	var total uint64
-	var missed []uint64
 	for level := 0; level < w.levels-1; level++ {
 		key := upperKey(page, level, w.levels)
 		if w.pwc.lookup(key) {
@@ -111,9 +160,14 @@ func (w *Walker) finish(page PageID, missed []uint64) {
 	for _, cb := range cbs {
 		cb(resident)
 	}
-	if len(w.queue) > 0 && w.active < w.slots {
-		next := w.queue[0]
-		w.queue = w.queue[1:]
+	w.putCbs(cbs)
+	if w.qHead < len(w.queue) && w.active < w.slots {
+		next := w.queue[w.qHead]
+		w.qHead++
+		if w.qHead == len(w.queue) {
+			w.queue = w.queue[:0]
+			w.qHead = 0
+		}
 		w.start(next)
 	}
 }

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/core"
+)
+
+// fidelityParams keeps the full-suite simulation sweep below test
+// timeouts while still exercising every builder's access patterns.
+func fidelityParams() Params {
+	p := smallParams()
+	p.Vertices = 1024
+	p.AvgDegree = 4
+	p.RegularElems = 1 << 12
+	return p
+}
+
+// TestCompiledReplayFidelity is the end-to-end guarantee behind the
+// capture/compile/replay split: for every workload in the suite, running
+// the simulator against compiled flat traces must produce a
+// byte-identical metrics.Summary to running it against live generator
+// streams. Any divergence — ordering, cycle counts, fault totals —
+// would mean the compiled form is not a faithful recording.
+func TestCompiledReplayFidelity(t *testing.T) {
+	p := fidelityParams()
+	cfg := config.Default()
+	cfg.Policy = config.TOUE
+	cfg.GPU.NumSMs = 4
+	cfg.MaxCycles = 2_000_000_000
+	// Tiny footprints thrash pathologically at the default 50%
+	// oversubscription; mild pressure still exercises eviction while
+	// terminating quickly.
+	cfg.UVM.OversubscriptionRatio = 0.95
+
+	for _, name := range All() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			live, err := Build(name, p)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			compiled, err := BuildCompiled(name, p, cfg.GPU.WarpSize)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+
+			liveStats, err := core.Run(cfg, live)
+			if err != nil {
+				t.Fatalf("live run: %v", err)
+			}
+			compStats, err := core.Run(cfg, compiled.Workload())
+			if err != nil {
+				t.Fatalf("compiled run: %v", err)
+			}
+
+			liveJSON, err := json.Marshal(liveStats.Summary())
+			if err != nil {
+				t.Fatal(err)
+			}
+			compJSON, err := json.Marshal(compStats.Summary())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(liveJSON) != string(compJSON) {
+				t.Errorf("summaries diverge\nlive:     %s\ncompiled: %s", liveJSON, compJSON)
+			}
+		})
+	}
+}
+
+// TestCompiledWorkloadReplaysRepeatedly pins that one Compiled artifact
+// can back many simulations: the cache shares it across sweep jobs, so a
+// second run over the same arrays must see the same accesses (cursors
+// must not mutate the backing pool).
+func TestCompiledWorkloadReplaysRepeatedly(t *testing.T) {
+	p := fidelityParams()
+	compiled, err := BuildCompiled("BFS-TWC", p, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.Policy = config.TOUE
+	cfg.GPU.NumSMs = 2
+	cfg.MaxCycles = 2_000_000_000
+	cfg.UVM.OversubscriptionRatio = 0.95
+
+	var first string
+	for i := 0; i < 2; i++ {
+		stats, err := core.Run(cfg, compiled.Workload())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		b, err := json.Marshal(stats.Summary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = string(b)
+		} else if string(b) != first {
+			t.Errorf("run %d diverged from run 0\nrun0: %s\nrun%d: %s", i, first, i, b)
+		}
+	}
+}

@@ -116,6 +116,19 @@ func Build(name string, p Params) (*trace.Workload, error) {
 	return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, All())
 }
 
+// BuildCompiled builds the named workload and compiles it to the flat
+// trace form (trace.Compiled) at the given warp size: the one-time
+// capture step of the capture/replay split. The returned Compiled is
+// immutable; share it freely across concurrent simulations and obtain
+// replayable views with its Workload method.
+func BuildCompiled(name string, p Params, warpSize int) (*trace.Compiled, error) {
+	w, err := Build(name, p)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Compile(w, warpSize)
+}
+
 func (p Params) validate() error {
 	switch {
 	case p.Vertices <= 0:
