@@ -17,7 +17,7 @@ test:
 # experiment runner it drives, and the event engine underneath.
 # internal/core rides along for the UVM-runtime regression tests.
 test-race:
-	$(GO) test -race -timeout 20m ./internal/harness ./internal/exp ./internal/sim ./internal/core
+	$(GO) test -race -timeout 20m ./internal/harness ./internal/exp ./internal/sim ./internal/core ./internal/gpu
 
 # Traced smoke: a short run with -trace must produce structurally valid
 # Chrome trace-event JSON (same check CI runs).

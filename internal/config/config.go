@@ -94,6 +94,15 @@ type GPU struct {
 	// cycles and queues behind earlier misses. 0 (the default) keeps the
 	// paper's fixed-latency memory model.
 	DRAMBytesPerCycle uint64
+
+	// SMsPerDomain groups SMs into synchronization domains for the
+	// conservative parallel event engine: each domain (the SMs plus their
+	// private L1 caches and TLBs) runs on its own event queue, with the
+	// shared spine (L2, page walker, UVM runtime, PCIe) as the hub domain.
+	// 0 or negative puts every SM in one domain (no intra-run
+	// parallelism). The partitioning is fixed by the configuration, not by
+	// the worker count, so results are independent of -par.
+	SMsPerDomain int
 }
 
 // UVM holds the unified-memory parameters from Table 1 plus policy knobs.
@@ -214,6 +223,7 @@ func Default() Config {
 			PTLevels:                 4,
 			PWCLatency:               10,
 			GlobalMemBWBytesPerCycle: 128,
+			SMsPerDomain:             4,
 		},
 		UVM: UVM{
 			PageBytes:          64 << 10,
@@ -267,6 +277,44 @@ func (c *Config) PageTransferCycles() uint64 {
 	// bytes / (GB/s) = ns at 1 GHz; scale by clock for other frequencies.
 	ns := float64(c.UVM.PageBytes) / (bw * 1e9) * 1e9
 	return uint64(ns * c.GPU.ClockGHz)
+}
+
+// DomainCount returns the number of SM synchronization domains the GPU is
+// partitioned into: ceil(NumSMs / SMsPerDomain), with SMsPerDomain <= 0
+// meaning one domain. The hub (L2, walker, UVM runtime) is a separate
+// domain on top of these.
+func (c *Config) DomainCount() int {
+	spd := c.GPU.SMsPerDomain
+	if spd <= 0 || spd > c.GPU.NumSMs {
+		spd = c.GPU.NumSMs
+	}
+	return (c.GPU.NumSMs + spd - 1) / spd
+}
+
+// HopCycles returns the request-leg latency of a cross-domain message: an
+// SM-domain-to-hub hop models the near half of an L2 access, so the L2 hit
+// total (request hop + answer leg) equals the configured L2Latency.
+func (c *Config) HopCycles() uint64 {
+	h := c.GPU.L2Latency / 2
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// Lookahead returns the epoch width of the conservative parallel engine:
+// the minimum latency of any cross-domain edge, which is the shorter of
+// the request hop and the shortest answer leg.
+func (c *Config) Lookahead() uint64 {
+	req := c.HopCycles()
+	ans := c.GPU.L2Latency - req
+	if ans < 1 {
+		ans = 1
+	}
+	if ans < req {
+		return ans
+	}
+	return req
 }
 
 // CapacityPages returns the GPU memory capacity in pages for a workload

@@ -27,6 +27,12 @@ type etcController struct {
 	cluster *gpu.Cluster
 	rt      *Runtime
 
+	// faults supplies the cumulative fault count the detection epochs
+	// difference. It defaults to the cluster's hub-side fault counter
+	// (Stats.FaultsRaised is sharded across domains until the end-of-run
+	// merge); tests substitute their own source.
+	faults func() uint64
+
 	throttled  bool
 	lastFaults uint64
 	prevRate   float64
@@ -35,7 +41,7 @@ type etcController struct {
 }
 
 func newETCController(eng *sim.Engine, cfg *config.Config, stats *metrics.Stats, cluster *gpu.Cluster, rt *Runtime) *etcController {
-	return &etcController{eng: eng, cfg: cfg, stats: stats, cluster: cluster, rt: rt}
+	return &etcController{eng: eng, cfg: cfg, stats: stats, cluster: cluster, rt: rt, faults: cluster.FaultsSeen}
 }
 
 func (e *etcController) start() {
@@ -62,7 +68,7 @@ func (e *etcController) stop() {
 // epoch closes a detection epoch: if the fault rate regressed versus the
 // previous epoch, flip the throttling decision.
 func (e *etcController) epoch() {
-	faults := e.stats.FaultsRaised
+	faults := e.faults()
 	rate := float64(faults - e.lastFaults)
 	e.lastFaults = faults
 

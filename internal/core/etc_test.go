@@ -11,27 +11,30 @@ import (
 )
 
 // etcRig assembles an ETC controller over a real cluster (no workload).
-func etcRig() (*etcController, *gpu.Cluster, *sim.Engine, *metrics.Stats) {
-	eng := sim.NewEngine()
+// The returned engine is the hub domain's; tests running it to completion
+// should use sys.Run (etcSys) so cross-domain messages are delivered.
+func etcRig() (*etcController, *gpu.Cluster, *sim.System, *metrics.Stats) {
 	cfg := config.Default()
 	cfg.Policy = config.ETC
+	sys := sim.NewSystem(cfg.DomainCount()+1, cfg.Lookahead())
+	eng := sys.Engine(cfg.DomainCount())
 	stats := &metrics.Stats{}
 	pt := vm.NewPageTable()
 	rt := NewRuntime(eng, &cfg, stats, pt, 64, func(uint64) bool { return true })
-	cluster := gpu.New(eng, &cfg, stats, pt, rt)
+	cluster := gpu.New(sys, &cfg, stats, pt, rt)
 	rt.AttachCluster(cluster)
 	e := newETCController(eng, &cfg, stats, cluster, rt)
-	return e, cluster, eng, stats
+	return e, cluster, sys, stats
 }
 
 func TestETCThrottlesHalfAtStart(t *testing.T) {
-	e, cluster, eng, _ := etcRig()
+	e, cluster, sys, _ := etcRig()
 	e.start()
 	if got := cluster.EnabledSMs(); got != 8 {
 		t.Fatalf("enabled SMs after start = %d, want 8 (half of 16)", got)
 	}
 	e.stop()
-	eng.Run()
+	sys.Run()
 	if got := cluster.EnabledSMs(); got != 16 {
 		t.Fatalf("enabled SMs after stop = %d, want 16", got)
 	}
@@ -39,6 +42,7 @@ func TestETCThrottlesHalfAtStart(t *testing.T) {
 
 func TestETCUnthrottlesWhenFaultsStop(t *testing.T) {
 	e, cluster, _, stats := etcRig()
+	e.faults = func() uint64 { return stats.FaultsRaised }
 	e.setThrottle(true)
 	// One epoch with faults (rate > 0), then an epoch with none.
 	stats.FaultsRaised = 100
@@ -54,6 +58,7 @@ func TestETCUnthrottlesWhenFaultsStop(t *testing.T) {
 
 func TestETCTogglesOnRegression(t *testing.T) {
 	e, cluster, _, stats := etcRig()
+	e.faults = func() uint64 { return stats.FaultsRaised }
 	e.setThrottle(true)
 	stats.FaultsRaised = 100
 	e.epoch() // rate 100, first measurement
@@ -70,8 +75,9 @@ func TestETCTogglesOnRegression(t *testing.T) {
 }
 
 func TestETCProactiveEvictionAblation(t *testing.T) {
-	e, _, eng, stats := etcRig()
+	e, _, sys, stats := etcRig()
 	e.cfg.UVM.ETCProactiveEviction = true
+	e.faults = func() uint64 { return stats.FaultsRaised }
 	// Fill memory to capacity so PE has victims.
 	for i := 0; i < 64; i++ {
 		e.rt.alloc.Add(uint64(i), 0)
@@ -79,7 +85,7 @@ func TestETCProactiveEvictionAblation(t *testing.T) {
 	}
 	stats.FaultsRaised = 10
 	e.epoch()
-	eng.Run()
+	sys.Run()
 	if stats.Evictions == 0 {
 		t.Fatal("proactive eviction evicted nothing at capacity")
 	}

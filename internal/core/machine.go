@@ -16,7 +16,8 @@ import (
 // Machine assembles the full simulated system — GPU cluster, translation
 // hardware, and UVM runtime — and runs a workload's kernels to completion.
 type Machine struct {
-	Eng     *sim.Engine
+	Sys     *sim.System // multi-domain event system (SM shards + hub)
+	Eng     *sim.Engine // hub domain engine: runtime, walker, L2, controllers
 	Cfg     config.Config
 	Stats   *metrics.Stats
 	PT      *vm.PageTable
@@ -26,6 +27,7 @@ type Machine struct {
 	workload  *trace.Workload
 	etc       *etcController
 	tr        *telemetry.Tracer
+	par       int // requested intra-run workers; effective value derived in Run
 	finished  bool
 	kernelIdx int
 }
@@ -49,8 +51,10 @@ func NewMachine(cfg config.Config, w *trace.Workload) (*Machine, error) {
 	if len(w.Kernels) == 0 {
 		return nil, fmt.Errorf("core: workload %q has no kernels", w.Name)
 	}
+	sys := sim.NewSystem(cfg.DomainCount()+1, cfg.Lookahead())
 	m := &Machine{
-		Eng:      sim.NewEngine(),
+		Sys:      sys,
+		Eng:      sys.Engine(cfg.DomainCount()), // hub is the last domain
 		Cfg:      cfg,
 		Stats:    &metrics.Stats{},
 		PT:       vm.NewPageTable(),
@@ -72,7 +76,7 @@ func NewMachine(cfg config.Config, w *trace.Workload) (*Machine, error) {
 	pageBytes := cfg.UVM.PageBytes
 	inSpace := func(page uint64) bool { return w.Space.Contains(page * pageBytes) }
 	m.RT = NewRuntime(m.Eng, &m.Cfg, m.Stats, m.PT, capacity, inSpace)
-	m.Cluster = gpu.New(m.Eng, &m.Cfg, m.Stats, m.PT, m.RT)
+	m.Cluster = gpu.New(m.Sys, &m.Cfg, m.Stats, m.PT, m.RT)
 	m.RT.AttachCluster(m.Cluster)
 	if cfg.TraditionalSwitch {
 		m.Cluster.SetTraditionalSwitching(true)
@@ -97,7 +101,7 @@ func (m *Machine) AttachTracer(tr *telemetry.Tracer) {
 	m.tr = tr
 	m.RT.SetTracer(tr)
 	m.Cluster.RegisterTelemetry(tr)
-	tr.RegisterCounter("sim.events_dispatched", func() float64 { return float64(m.Eng.Dispatched()) })
+	tr.RegisterCounter("sim.events_dispatched", func() float64 { return float64(m.Sys.Dispatched()) })
 	tr.RegisterCounter("mem.resident_pages", func() float64 { return float64(m.RT.Allocator().Len()) })
 	tr.RegisterCounter("uvm.pending_faults", func() float64 { return float64(m.RT.PendingFaults()) })
 }
@@ -118,9 +122,30 @@ func (m *Machine) preloadAll() {
 	}
 }
 
+// SetParallelism requests n worker goroutines for the event system. The
+// effective count degrades automatically (see effectiveWorkers); results
+// are byte-identical at every setting. Call before Run.
+func (m *Machine) SetParallelism(n int) { m.par = n }
+
+// effectiveWorkers applies the sequential-fallback rule: parallel epochs
+// need at least two shard domains, a lookahead wide enough to amortize the
+// barrier, and no tracer (the tracer's span/counter plumbing reads across
+// domains). Anything else runs inline on the caller's goroutine.
+func (m *Machine) effectiveWorkers() int {
+	if m.par < 2 || m.tr != nil {
+		return 1
+	}
+	if m.Cfg.DomainCount() < 2 || m.Sys.Lookahead() < sim.MinLookahead {
+		return 1
+	}
+	return m.par
+}
+
 // Run executes every kernel in order and returns the collected statistics.
 // It fails if the simulation deadlocks or exceeds the cycle limit.
 func (m *Machine) Run() (*metrics.Stats, error) {
+	m.Sys.SetWorkers(m.effectiveWorkers())
+	defer m.Sys.Stop()
 	m.RT.StartController()
 	if m.etc != nil {
 		m.etc.start()
@@ -130,17 +155,19 @@ func (m *Machine) Run() (*metrics.Stats, error) {
 	if limit == 0 {
 		limit = defaultMaxCycles
 	}
-	drained := m.Eng.RunUntil(limit)
+	drained := m.Sys.RunUntil(limit)
 	if !m.finished {
 		if drained {
 			return nil, fmt.Errorf("core: %s deadlocked at cycle %d: %d warps waiting, %d faults pending, batch active=%v",
-				m.workload.Name, m.Eng.Now(), m.Cluster.WaitingWarps(), m.RT.PendingFaults(), m.RT.BatchActive())
+				m.workload.Name, m.Sys.Now(), m.Cluster.WaitingWarps(), m.RT.PendingFaults(), m.RT.BatchActive())
 		}
 		m.Stats.Cycles = limit
+		m.Cluster.FlushStats()
 		return m.Stats, fmt.Errorf("core: %s exceeded %d cycles: %w", m.workload.Name, limit, ErrCycleLimit)
 	}
 	// Drain trailing events (in-flight evictions, controller shutdown).
-	m.Eng.RunUntil(limit)
+	m.Sys.RunUntil(limit)
+	m.Cluster.FlushStats()
 	return m.Stats, nil
 }
 
@@ -174,10 +201,18 @@ func (m *Machine) launchNext() {
 
 // Run is the package-level convenience: build a machine and run it.
 func Run(cfg config.Config, w *trace.Workload) (*metrics.Stats, error) {
+	return RunParallel(cfg, w, 1)
+}
+
+// RunParallel builds a machine, requests par event-system workers, and
+// runs it. par <= 1 (and any configuration the fallback rule rejects)
+// executes inline; results are identical at every worker count.
+func RunParallel(cfg config.Config, w *trace.Workload, par int) (*metrics.Stats, error) {
 	m, err := NewMachine(cfg, w)
 	if err != nil {
 		return nil, err
 	}
+	m.SetParallelism(par)
 	return m.Run()
 }
 

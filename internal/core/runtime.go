@@ -241,6 +241,24 @@ func (r *Runtime) beginBatch() {
 	if n > r.cfg.UVM.FaultBufferEntries {
 		n = r.cfg.UVM.FaultBufferEntries
 	}
+	// Batch-aware sizing: one batch may fill every free frame but displace
+	// at most half of device memory, so a migrated page always survives at
+	// least one full batch after arriving. Without this floor on residency,
+	// capacity-sized batches evict the previous batch wholesale and an
+	// access straddling two batches never sees both its pages resident
+	// (the woken warp re-faults forever). Excess faults stay queued; their
+	// waiters are already registered.
+	free := r.alloc.Capacity() - r.alloc.Len()
+	if free < 0 {
+		free = 0
+	}
+	budget := free + r.alloc.Capacity()/2
+	if budget < 1 {
+		budget = 1
+	}
+	if n > budget {
+		n = budget
+	}
 	faulted := append([]uint64(nil), r.pendingList[:n]...)
 	r.pendingList = r.pendingList[n:]
 	for _, pg := range faulted {
@@ -271,11 +289,17 @@ func (r *Runtime) beginBatch() {
 	var prefetched []uint64
 	if r.pref != nil {
 		prefetched = r.pref.Plan(faulted, r.alloc.Has, r.inSpace)
-		free := r.alloc.Capacity() - r.alloc.Len() - len(faulted)
-		if free < 0 {
-			free = 0
+		pfFree := free - len(faulted)
+		if pfFree < 0 {
+			pfFree = 0
 		}
-		limit := free + int(r.cfg.UVM.PrefetchAggressiveness*float64(len(faulted)))
+		limit := pfFree + int(r.cfg.UVM.PrefetchAggressiveness*float64(len(faulted)))
+		if rem := budget - len(faulted); limit > rem {
+			limit = rem // prefetches share the batch displacement budget
+		}
+		if limit < 0 {
+			limit = 0
+		}
 		if len(prefetched) > limit {
 			prefetched = prefetched[:limit]
 		}

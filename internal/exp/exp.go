@@ -28,7 +28,7 @@ import (
 // simulation semantics change (new mechanisms, timing fixes), so cache
 // entries written by an older simulator are never mistaken for current
 // results.
-const resultsVersion = 2 // v2: page-walk cache fills at walk completion, not issue
+const resultsVersion = 3 // v3: multi-domain engine retimes cross-domain hops (fault wake, L2/walker handoff)
 
 // Table is a rendered experiment result.
 type Table struct {
@@ -135,6 +135,14 @@ type Runner struct {
 	// determinism suite guards this); live trades replay speed for not
 	// holding the flattened access arrays in memory.
 	Live bool
+	// Par is the intra-run parallelism for fresh simulations: the worker
+	// count handed to core.RunParallel. <= 1 runs each simulation on one
+	// goroutine (the default); jobs fanned out through Pool instead use
+	// the parallelism the pool stamped on them, which Options.Par budget-
+	// splits against the pool width. Par never affects results — the
+	// multi-domain engine is byte-identical at any worker count — only
+	// wall time.
+	Par int
 	// Builds is the in-process build cache every job of a sweep shares:
 	// one (workload, params, seed) point is built — and, unless Live is
 	// set, compiled — exactly once per process, no matter how many
@@ -274,7 +282,7 @@ func (r *Runner) Run(name string, mutate func(*config.Config)) (*metrics.Stats, 
 		if r.Progress != nil {
 			fmt.Fprintf(r.Progress, "running %s ...\n", runLabel(name, cfg))
 		}
-		e.stats, e.err = r.simulate(name, cfg, key)
+		e.stats, e.err = r.simulate(name, cfg, key, r.Par)
 		close(e.ready)
 	} else {
 		<-e.ready
@@ -285,12 +293,12 @@ func (r *Runner) Run(name string, mutate func(*config.Config)) (*metrics.Stats, 
 // simulate executes one run (the shared leaf of the inline and harness
 // paths). Cycle-limit aborts return their partial stats with a wrapped
 // core.ErrCycleLimit, matching what RunLB callers unwrap.
-func (r *Runner) simulate(name string, cfg config.Config, key string) (*metrics.Stats, error) {
+func (r *Runner) simulate(name string, cfg config.Config, key string, par int) (*metrics.Stats, error) {
 	w, err := r.Workload(name)
 	if err != nil {
 		return nil, err
 	}
-	stats, err := core.Run(cfg, w)
+	stats, err := core.RunParallel(cfg, w, par)
 	if err != nil {
 		return stats, fmt.Errorf("exp: %s: %w", key, err)
 	}
@@ -391,7 +399,11 @@ func (r *Runner) simExecutor(ctx context.Context, j harness.Job) (*metrics.Stats
 	key := j.Workload + "|" + j.Hash
 	path := harness.TracePath(ctx)
 	if path == "" {
-		return r.simulate(j.Workload, j.Config, key)
+		par := j.Par
+		if par == 0 {
+			par = r.Par // pool without Par set: fall back to the runner's
+		}
+		return r.simulate(j.Workload, j.Config, key, par)
 	}
 	w, err := r.Workload(j.Workload)
 	if err != nil {

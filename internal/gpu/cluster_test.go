@@ -10,8 +10,11 @@ import (
 	"uvmsim/internal/vm"
 )
 
-// testRig bundles a cluster with everything it needs.
+// testRig bundles a cluster with everything it needs. eng is the hub
+// domain's engine: sink callbacks and test events scheduled on it run
+// hub-side, which is where the UVM runtime lives in the real machine.
 type testRig struct {
+	sys   *sim.System
 	eng   *sim.Engine
 	cfg   config.Config
 	stats metrics.Stats
@@ -36,16 +39,32 @@ func (s *immediateSink) RaiseFault(page uint64) {
 }
 
 func newRig(mutate func(*config.Config)) *testRig {
-	r := &testRig{eng: sim.NewEngine(), cfg: config.Default(), pt: vm.NewPageTable()}
+	r := &testRig{cfg: config.Default(), pt: vm.NewPageTable()}
 	if mutate != nil {
 		mutate(&r.cfg)
 	}
+	r.sys = sim.NewSystem(r.cfg.DomainCount()+1, r.cfg.Lookahead())
+	r.eng = r.sys.Engine(r.cfg.DomainCount())
 	return r
 }
 
 func (r *testRig) build(sink FaultSink) *Cluster {
-	r.c = New(r.eng, &r.cfg, &r.stats, r.pt, sink)
+	r.c = New(r.sys, &r.cfg, &r.stats, r.pt, sink)
 	return r.c
+}
+
+// run drains the whole system and merges the shard counters into r.stats.
+func (r *testRig) run() uint64 {
+	n := r.sys.Run()
+	r.c.FlushStats()
+	return n
+}
+
+// runUntil executes up to limit; shard counters observed so far are merged
+// (FlushStats drains, so a later run() never double-counts).
+func (r *testRig) runUntil(limit uint64) {
+	r.sys.RunUntil(limit)
+	r.c.FlushStats()
 }
 
 // simpleKernel builds a kernel where each warp performs nAccesses strided
@@ -86,7 +105,7 @@ func TestKernelCompletesWithResidentPages(t *testing.T) {
 	mapAll(r, k)
 	done := false
 	c.Launch(k, func() { done = true })
-	r.eng.Run()
+	r.run()
 	if !done {
 		t.Fatal("kernel did not complete")
 	}
@@ -104,7 +123,7 @@ func TestZeroBlockKernelCompletes(t *testing.T) {
 	k := simpleKernel(0, 256, 16, 1, 128)
 	done := false
 	c.Launch(k, func() { done = true })
-	r.eng.Run()
+	r.run()
 	if !done {
 		t.Fatal("zero-block kernel did not complete")
 	}
@@ -117,7 +136,7 @@ func TestFaultsRaisedAndServiced(t *testing.T) {
 	k := simpleKernel(4, 256, 16, 5, 64<<10) // stride a page: every access faults
 	done := false
 	c.Launch(k, func() { done = true })
-	r.eng.Run()
+	r.run()
 	if !done {
 		t.Fatal("kernel did not complete after fault servicing")
 	}
@@ -177,7 +196,7 @@ func TestOversubscriptionSwitchesBlocks(t *testing.T) {
 	c.Launch(k, func() { done = true })
 	// Run until the first fault service completes (50000 cycles): by then
 	// the context switch must have let block 2 raise faults too.
-	r.eng.RunUntil(49999)
+	r.runUntil(49999)
 	if r.stats.ContextSwitches == 0 {
 		t.Fatal("no context switch with an oversubscribed stalled block")
 	}
@@ -188,7 +207,7 @@ func TestOversubscriptionSwitchesBlocks(t *testing.T) {
 	if len(sink.faults) < 2 {
 		t.Fatalf("only %d faults raised before first service", len(sink.faults))
 	}
-	r.eng.Run()
+	r.run()
 	if !done {
 		t.Fatal("kernel did not complete")
 	}
@@ -201,7 +220,7 @@ func TestNoSwitchWithoutOversubscription(t *testing.T) {
 	k := simpleKernel(2, 1024, 16, 3, 64<<10)
 	done := false
 	c.Launch(k, func() { done = true })
-	r.eng.Run()
+	r.run()
 	if !done {
 		t.Fatal("kernel did not complete")
 	}
@@ -221,7 +240,7 @@ func TestTraditionalSwitchingDegradesPerformance(t *testing.T) {
 			c.SetOversubscription(1)
 		}
 		c.Launch(k, func() {})
-		return r.eng.Run()
+		return r.run()
 	}
 	base := run(false)
 	trad := run(true)
@@ -243,7 +262,7 @@ func TestSMThrottlingPausesAndResumes(t *testing.T) {
 	}
 	// Re-enable partway through.
 	r.eng.Schedule(2000, func() { c.SetSMEnabled(1, true) })
-	r.eng.Run()
+	r.run()
 	if !done {
 		t.Fatal("kernel did not complete after re-enabling SM")
 	}
@@ -255,13 +274,16 @@ func TestInvalidatePageShootsDownTLBs(t *testing.T) {
 	k := simpleKernel(1, 256, 16, 4, 128)
 	mapAll(r, k)
 	c.Launch(k, func() {})
-	r.eng.Run()
+	r.run()
 	// After the run some page is cached in the TLBs; evict it everywhere.
 	page := uint64(0x1_0000_0000) / r.cfg.UVM.PageBytes
 	c.InvalidatePage(page)
-	for _, sm := range c.sms {
-		if sm.l1tlb.Invalidate(page) {
-			t.Fatal("L1 TLB still held evicted page after shootdown")
+	r.run() // deliver the shootdown broadcast to the shards
+	for _, sh := range c.shards {
+		for _, sm := range sh.sms {
+			if sm.l1tlb.Invalidate(page) {
+				t.Fatal("L1 TLB still held evicted page after shootdown")
+			}
 		}
 	}
 	if c.l2tlb.Invalidate(page) {
@@ -299,7 +321,7 @@ func TestMultiPageAccessFaultsOnAllPages(t *testing.T) {
 	}
 	done := false
 	c.Launch(k, func() { done = true })
-	r.eng.Run()
+	r.run()
 	if !done {
 		t.Fatal("kernel did not complete")
 	}
@@ -320,7 +342,7 @@ func TestSwitchCooldownLimitsRate(t *testing.T) {
 	c.SetOversubscription(1)
 	done := false
 	c.Launch(k, func() { done = true })
-	total := r.eng.Run()
+	total := r.run()
 	if !done {
 		t.Fatal("kernel did not complete")
 	}
@@ -329,10 +351,11 @@ func TestSwitchCooldownLimitsRate(t *testing.T) {
 	}
 	// Upper bound: one switch per (switch cost) of wall time would mean
 	// zero useful work; the cooldown guarantees strictly fewer.
-	maxSwitches := total / c.switchCycles
+	cost := c.contextSwitchCycles(k)
+	maxSwitches := total / cost
 	if r.stats.ContextSwitches >= maxSwitches {
 		t.Fatalf("%d switches in %d cycles (cost %d): cooldown not applied",
-			r.stats.ContextSwitches, total, c.switchCycles)
+			r.stats.ContextSwitches, total, cost)
 	}
 }
 
@@ -348,7 +371,7 @@ func TestOversubscriptionDegreeZeroAfterReduce(t *testing.T) {
 	k := simpleKernel(2, 1024, 16, 3, 64<<10)
 	done := false
 	c.Launch(k, func() { done = true })
-	r.eng.Run()
+	r.run()
 	if !done {
 		t.Fatal("kernel did not complete with degree clamped to 0")
 	}
@@ -365,7 +388,7 @@ func TestDRAMContentionSlowsMemoryBoundKernels(t *testing.T) {
 		k := simpleKernel(16, 1024, 16, 30, 4096)
 		mapAll(r, k)
 		c.Launch(k, func() {})
-		return r.eng.Run()
+		return r.run()
 	}
 	uncontended := run(0)
 	contended := run(8) // 8 B/cycle: a 128B line occupies 16 cycles
@@ -396,7 +419,7 @@ func TestIssueBandwidthSerializesBursts(t *testing.T) {
 		k := simpleKernel(1, 1024, 16, 30, 128)
 		mapAll(r, k)
 		c.Launch(k, func() {})
-		return r.eng.Run()
+		return r.run()
 	}
 	free := run(0)
 	constrained := run(1) // 1 instr/cycle: 32 warps serialize their issues

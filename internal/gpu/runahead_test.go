@@ -51,12 +51,12 @@ func TestRunaheadRaisesSpeculativeFaults(t *testing.T) {
 		}
 		c.Launch(k, func() {})
 		// Stop at the first fault service: what got raised by then?
-		r.eng.RunUntil(29999)
+		r.runUntil(29999)
 		raised := make(map[uint64]int, len(sink.faults))
 		for p, n := range sink.faults {
 			raised[p] = n
 		}
-		r.eng.Run()
+		r.run()
 		return raised, r.stats.RunaheadFaults
 	}
 
@@ -98,7 +98,7 @@ func TestRunaheadSkipsResidentPages(t *testing.T) {
 	}
 	done := false
 	c.Launch(k, func() { done = true })
-	r.eng.Run()
+	r.run()
 	if !done {
 		t.Fatal("kernel did not complete")
 	}

@@ -35,6 +35,13 @@ type Executor func(ctx context.Context, j Job) (*metrics.Stats, error)
 type Options struct {
 	// Jobs is the worker count; <= 0 means runtime.GOMAXPROCS(0).
 	Jobs int
+	// Par is the intra-run parallelism stamped onto each job that does
+	// not set its own: the number of worker goroutines the simulation
+	// itself may use (see core.RunParallel). <= 0 means 1 (sequential).
+	// When Jobs x Par oversubscribes runtime.GOMAXPROCS(0), Par is
+	// trimmed so the combined goroutine budget fits: sweep throughput
+	// (one core per job) beats intra-run speedup, so Jobs keeps priority.
+	Par int
 	// Timeout bounds each job's wall time; 0 means no limit.
 	Timeout time.Duration
 	// Retries is how many times a panicking job is re-attempted before
@@ -58,6 +65,7 @@ type Options struct {
 // accumulates totals across all of them.
 type Pool struct {
 	workers  int
+	par      int
 	timeout  time.Duration
 	retries  int
 	cache    *Cache
@@ -71,6 +79,16 @@ func New(opts Options) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	par := opts.Par
+	if par < 1 {
+		par = 1
+	}
+	if budget := runtime.GOMAXPROCS(0); workers*par > budget {
+		par = budget / workers
+		if par < 1 {
+			par = 1
+		}
+	}
 	retries := opts.Retries
 	if retries < 0 {
 		retries = 1
@@ -82,6 +100,7 @@ func New(opts Options) *Pool {
 	rep.setWorkers(workers)
 	return &Pool{
 		workers:  workers,
+		par:      par,
 		timeout:  opts.Timeout,
 		retries:  retries,
 		cache:    opts.Cache,
@@ -92,6 +111,10 @@ func New(opts Options) *Pool {
 
 // Workers returns the pool width.
 func (p *Pool) Workers() int { return p.workers }
+
+// Par returns the per-job intra-run parallelism after the goroutine
+// budget split.
+func (p *Pool) Par() int { return p.par }
 
 // Reporter returns the pool's progress reporter.
 func (p *Pool) Reporter() *Reporter { return p.rep }
@@ -148,6 +171,9 @@ feed:
 
 // runJob produces one job's result: cache hit, fresh run, or failure.
 func (p *Pool) runJob(ctx context.Context, j Job, exec Executor) Result {
+	if j.Par == 0 {
+		j.Par = p.par // stamp before the cache lookup: Par is in the key
+	}
 	if p.cache != nil && !j.NoCache {
 		if res, ok := p.cache.Get(j.Key()); ok {
 			res.ID = j.ID // display label of this sweep, not the writing one
@@ -155,7 +181,7 @@ func (p *Pool) runJob(ctx context.Context, j Job, exec Executor) Result {
 			return *res
 		}
 	}
-	res := Result{ID: j.ID, Workload: j.Workload, Hash: j.Hash, Seed: j.Seed}
+	res := Result{ID: j.ID, Workload: j.Workload, Hash: j.Hash, Seed: j.Seed, Par: j.Par}
 	tracePath := ""
 	if p.traceDir != "" {
 		tracePath = filepath.Join(p.traceDir, traceFileName(j.ID))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -347,5 +348,100 @@ func TestHashPartsSensitivity(t *testing.T) {
 	}
 	if h4 == h1 {
 		t.Fatal("version salt did not change the hash")
+	}
+}
+
+// TestPoolParBudgetSplit pins the goroutine-budget rule: when -jobs times
+// intra-run -par oversubscribes GOMAXPROCS, the pool trims Par (never
+// Jobs) so the product fits, and Par never drops below 1.
+func TestPoolParBudgetSplit(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		jobs, par int
+		want      int
+	}{
+		{1, 0, 1},                         // unset: sequential
+		{1, maxprocs, maxprocs},           // exactly the budget: kept
+		{1, maxprocs * 4, maxprocs},       // oversubscribed: trimmed to fit
+		{maxprocs, 8, 1},                  // pool already saturates: par floors at 1
+		{maxprocs * 2, 2, 1},              // even an oversubscribed pool keeps par >= 1
+		{maxprocs / 2, 2, budgetPar(maxprocs/2, 2, maxprocs)}, // half the cores each way
+	}
+	for _, tc := range cases {
+		if tc.jobs < 1 {
+			continue // degenerate on single-core runners
+		}
+		p := New(Options{Jobs: tc.jobs, Par: tc.par})
+		if got := p.Par(); got != tc.want {
+			t.Errorf("New(Jobs:%d, Par:%d) with GOMAXPROCS=%d: Par() = %d, want %d",
+				tc.jobs, tc.par, maxprocs, got, tc.want)
+		}
+		if p.Workers() != tc.jobs {
+			t.Errorf("New(Jobs:%d, Par:%d): Workers() = %d, job width must keep priority",
+				tc.jobs, tc.par, p.Workers())
+		}
+	}
+}
+
+// budgetPar mirrors the clamp for the one table entry that depends on the
+// runner's core count.
+func budgetPar(jobs, par, budget int) int {
+	if jobs*par > budget {
+		par = budget / jobs
+	}
+	if par < 1 {
+		par = 1
+	}
+	return par
+}
+
+// TestPoolParInCacheKey pins the cache-entry separation contract: a job
+// run at one parallelism never serves a hit for the same job at another.
+// Jobs that leave Par unset are stamped with the pool's (budget-trimmed)
+// value before the cache lookup; jobs that preset Par keep it.
+func TestPoolParInCacheKey(t *testing.T) {
+	j := fakeJob(0)
+	seq, par2, par4 := j, j, j
+	seq.Par, par2.Par, par4.Par = 1, 2, 4
+	if j.Key() != seq.Key() { // par<=1 are both sequential: shared entry
+		t.Fatalf("sequential keys differ: unset=%q par1=%q", j.Key(), seq.Key())
+	}
+	if seq.Key() == par4.Key() || par2.Key() == par4.Key() {
+		t.Fatalf("cache keys collide across parallelism: par1=%q par2=%q par4=%q",
+			seq.Key(), par2.Key(), par4.Key())
+	}
+	par := par4
+
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsAt := make(map[int]int) // executor-observed Par -> fresh-run count
+	exec := func(_ context.Context, j Job) (*metrics.Stats, error) {
+		runsAt[j.Par]++
+		return statsFor(j), nil
+	}
+	p := New(Options{Jobs: 1, Par: 1, Cache: cache})
+	run := func(j Job) Result {
+		t.Helper()
+		res, err := p.Run(context.Background(), []Job{j}, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+	if res := run(fakeJob(0)); res.Cached { // unset Par: stamped to pool's 1
+		t.Fatal("first sequential run reported a cache hit")
+	}
+	// Same job preset to par=4 (driver-set, bypasses the stamp): the
+	// sequential entry must not serve it.
+	if res := run(par); res.Cached {
+		t.Fatal("par=4 run hit the sequential cache entry")
+	}
+	if res := run(par); !res.Cached { // and it caches under its own key
+		t.Fatal("second par=4 run missed its own cache entry")
+	}
+	if runsAt[1] != 1 || runsAt[4] != 1 {
+		t.Fatalf("fresh runs by parallelism = %v, want one each at 1 and 4", runsAt)
 	}
 }

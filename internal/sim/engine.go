@@ -13,11 +13,16 @@ import "fmt"
 // Cycle is a point in simulated time, in GPU core cycles.
 type Cycle = uint64
 
-// Event is a scheduled callback.
+// Event is a scheduled callback: either a plain closure (fn) or a
+// parameterized callback (argFn, arg). The parameterized form lets hot
+// paths deliver a uint64 payload through a callback bound once at
+// construction, instead of allocating a fresh closure per event.
 type event struct {
-	when Cycle
-	seq  uint64 // tie-breaker: preserves FIFO order for equal cycles
-	fn   func()
+	when  Cycle
+	seq   uint64 // tie-breaker: preserves FIFO order for equal cycles
+	fn    func()
+	argFn func(uint64)
+	arg   uint64
 }
 
 // before is the total event order: (when, seq) lexicographic. seq is unique
@@ -76,6 +81,51 @@ func (e *Engine) After(delay Cycle, fn func()) {
 	e.Schedule(e.now+delay, fn)
 }
 
+// ScheduleArg runs argFn(arg) at the given absolute cycle. It is the
+// allocation-free way to deliver a small payload: argFn is typically a
+// method value bound once at construction, and arg rides in the event.
+func (e *Engine) ScheduleArg(when Cycle, argFn func(uint64), arg uint64) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: schedule at cycle %d before now %d", when, e.now))
+	}
+	e.seq++
+	e.queue = append(e.queue, event{when: when, seq: e.seq, argFn: argFn, arg: arg})
+	e.siftUp(len(e.queue) - 1)
+}
+
+// AfterArg runs argFn(arg) delay cycles from now.
+func (e *Engine) AfterArg(delay Cycle, argFn func(uint64), arg uint64) {
+	e.ScheduleArg(e.now+delay, argFn, arg)
+}
+
+// NextTime returns the cycle of the earliest pending event. ok is false
+// when the queue is empty.
+func (e *Engine) NextTime() (when Cycle, ok bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].when, true
+}
+
+// Reset returns the engine to cycle zero with an empty queue, dropping all
+// pending events. When the queue's backing array has grown past watermark
+// events it is released to the allocator, so a harness that reuses one
+// engine across a sweep does not pin the peak-heap footprint of its
+// largest run. A watermark of 0 always releases the array.
+func (e *Engine) Reset(watermark int) {
+	if cap(e.queue) > watermark {
+		e.queue = nil
+	} else {
+		for i := range e.queue {
+			e.queue[i] = event{} // release closures
+		}
+		e.queue = e.queue[:0]
+	}
+	e.now = 0
+	e.seq = 0
+	e.nEvent = 0
+}
+
 // siftUp restores the heap property from leaf i toward the root.
 func (e *Engine) siftUp(i int) {
 	q := e.queue
@@ -128,19 +178,24 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	when, fn := e.queue[0].when, e.queue[0].fn
+	argFn, arg := e.queue[0].argFn, e.queue[0].arg
 	n--
 	if n > 0 {
 		e.queue[0] = e.queue[n]
-		e.queue[n].fn = nil // release the closure; the slot stays pooled
+		e.queue[n].fn, e.queue[n].argFn = nil, nil // release the closures; the slot stays pooled
 		e.queue = e.queue[:n]
 		e.siftDown(n)
 	} else {
-		e.queue[0].fn = nil
+		e.queue[0].fn, e.queue[0].argFn = nil, nil
 		e.queue = e.queue[:0]
 	}
 	e.now = when
 	e.nEvent++
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		argFn(arg)
+	}
 	return true
 }
 

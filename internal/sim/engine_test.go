@@ -219,3 +219,83 @@ func TestEngineDispatchOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEngineScheduleDuringDispatchSameCycle(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(10, func() {
+		order = append(order, "a")
+		// Scheduled mid-dispatch at the current cycle: must run after the
+		// same-cycle events that were already queued, in FIFO order.
+		e.Schedule(10, func() { order = append(order, "c") })
+		e.Schedule(10, func() { order = append(order, "d") })
+	})
+	e.Schedule(10, func() { order = append(order, "b") })
+	e.Run()
+	want := "abcd"
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("dispatch order = %q, want %q", got, want)
+	}
+}
+
+func TestEngineRunUntilExactlyAtLimit(t *testing.T) {
+	e := NewEngine()
+	var hits []Cycle
+	e.Schedule(100, func() { hits = append(hits, 100) })
+	e.Schedule(101, func() { hits = append(hits, 101) })
+	if e.RunUntil(100) {
+		t.Fatal("RunUntil(100) reported drained with an event pending at 101")
+	}
+	if len(hits) != 1 || hits[0] != 100 {
+		t.Fatalf("events dispatched up to limit = %v, want [100]", hits)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock after RunUntil(100) = %d, want 100", e.Now())
+	}
+	if !e.RunUntil(101) {
+		t.Fatal("RunUntil(101) did not drain the queue")
+	}
+	if len(hits) != 2 || hits[1] != 101 {
+		t.Fatalf("events after second RunUntil = %v, want [100 101]", hits)
+	}
+}
+
+func TestEngineResetReleasesPastWatermark(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 1000; i++ {
+		e.Schedule(Cycle(i), func() {})
+	}
+	e.Run()
+	for i := 0; i < 1000; i++ {
+		e.Schedule(Cycle(1000 + i), func() {})
+	}
+	if cap(e.queue) < 1000 {
+		t.Fatalf("queue capacity = %d, expected growth past 1000", cap(e.queue))
+	}
+	e.Reset(64)
+	if cap(e.queue) != 0 {
+		t.Fatalf("Reset(64) kept a %d-event backing array", cap(e.queue))
+	}
+	if e.Now() != 0 || e.Pending() != 0 || e.Dispatched() != 0 {
+		t.Fatalf("Reset left now=%d pending=%d dispatched=%d", e.Now(), e.Pending(), e.Dispatched())
+	}
+
+	// Below the watermark the array is kept (but cleared) for reuse.
+	for i := 0; i < 32; i++ {
+		e.Schedule(Cycle(i), func() {})
+	}
+	kept := cap(e.queue)
+	e.Reset(64)
+	if cap(e.queue) != kept {
+		t.Fatalf("Reset(64) released a %d-event array under the watermark", kept)
+	}
+	ran := false
+	e.Schedule(5, func() { ran = true })
+	if e.Run() != 5 || !ran {
+		t.Fatal("engine unusable after Reset")
+	}
+}

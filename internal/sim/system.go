@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// System is a conservative, lookahead-bounded parallel discrete-event
+// scheduler over a fixed set of synchronization domains, each with its own
+// Engine. Cross-domain events go through Send/SendArg into per-edge
+// mailboxes; the system executes epochs of width `lookahead` (the minimum
+// cross-domain latency) and merges mailboxes at epoch barriers in the fixed
+// total order (cycle, source domain, source sequence). Because every
+// cross-domain delivery lands strictly after the epoch that produced it,
+// domains can execute an epoch concurrently without ever observing each
+// other mid-epoch — and because the merge order is a pure function of the
+// per-domain event streams, results are byte-identical at any worker
+// count, including fully inline execution (workers <= 1).
+//
+// The contract components must follow:
+//
+//   - A domain's event callbacks touch only state owned by that domain.
+//   - Cross-domain interaction happens only via Send/SendArg, with a
+//     delivery time at least `lookahead` cycles after the sender's clock.
+//   - Shared read-only state (configuration, compiled traces) is fair game.
+//
+// The epoch barrier provides the happens-before edge for ownership
+// handoff: a struct pointer sent through a mailbox may be mutated by the
+// receiving domain, as long as the sender stops touching it once sent.
+type System struct {
+	lookahead Cycle
+	engines   []*Engine
+	boxes     [][][]msg // [src][dst] mailbox, appended in src execution order
+	merge     []msg     // per-destination flush scratch, reused across epochs
+	active    []int     // engines participating in the current epoch
+
+	workers int // requested worker goroutines; <2 means inline execution
+
+	// Worker pool, started lazily at the first multi-domain epoch.
+	pool struct {
+		started bool
+		work    chan int
+		wg      sync.WaitGroup
+		hi      Cycle // epoch horizon (inclusive), set before dispatch
+	}
+}
+
+// msg is one buffered cross-domain event.
+type msg struct {
+	when  Cycle
+	fn    func()
+	argFn func(uint64)
+	arg   uint64
+}
+
+// MinLookahead is the smallest lookahead worth parallelizing over: below
+// it, epochs are so narrow that barrier overhead dominates, and callers
+// should fall back to inline execution.
+const MinLookahead = 4
+
+// NewSystem builds a system of n domains with the given lookahead.
+func NewSystem(n int, lookahead Cycle) *System {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: system needs at least one domain, got %d", n))
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("sim: lookahead %d < 1", lookahead))
+	}
+	s := &System{lookahead: lookahead, workers: 1}
+	s.engines = make([]*Engine, n)
+	s.boxes = make([][][]msg, n)
+	for i := range s.engines {
+		s.engines[i] = NewEngine()
+		s.boxes[i] = make([][]msg, n)
+	}
+	return s
+}
+
+// Engine returns domain i's engine. Components schedule their intra-domain
+// events directly on it.
+func (s *System) Engine(i int) *Engine { return s.engines[i] }
+
+// Domains returns the number of domains.
+func (s *System) Domains() int { return len(s.engines) }
+
+// Lookahead returns the epoch width.
+func (s *System) Lookahead() Cycle { return s.lookahead }
+
+// SetWorkers sets the number of goroutines that execute epochs. Values
+// below 2 select inline execution on the caller's goroutine; results are
+// identical either way. Call before running; changing workers mid-run is
+// not supported.
+func (s *System) SetWorkers(n int) {
+	if s.pool.started {
+		panic("sim: SetWorkers after the worker pool started")
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(s.engines) {
+		n = len(s.engines)
+	}
+	s.workers = n
+}
+
+// Workers returns the effective worker count.
+func (s *System) Workers() int { return s.workers }
+
+// checkSend validates a cross-domain delivery time against the lookahead
+// contract. Violations always indicate a modeling bug, so they panic.
+func (s *System) checkSend(src int, when Cycle) {
+	if min := s.engines[src].Now() + s.lookahead; when < min {
+		panic(fmt.Sprintf("sim: send from domain %d at cycle %d delivers at %d, before lookahead horizon %d",
+			src, s.engines[src].Now(), when, min))
+	}
+}
+
+// Send schedules fn on domain dst at absolute cycle when. The delivery
+// must respect the lookahead: when >= sender's now + lookahead.
+func (s *System) Send(src, dst int, when Cycle, fn func()) {
+	if src == dst {
+		s.engines[src].Schedule(when, fn)
+		return
+	}
+	s.checkSend(src, when)
+	s.boxes[src][dst] = append(s.boxes[src][dst], msg{when: when, fn: fn})
+}
+
+// SendArg schedules argFn(arg) on domain dst at absolute cycle when; the
+// allocation-free counterpart of Send for payload-carrying events.
+func (s *System) SendArg(src, dst int, when Cycle, argFn func(uint64), arg uint64) {
+	if src == dst {
+		s.engines[src].ScheduleArg(when, argFn, arg)
+		return
+	}
+	s.checkSend(src, when)
+	s.boxes[src][dst] = append(s.boxes[src][dst], msg{when: when, argFn: argFn, arg: arg})
+}
+
+// nextEventTime returns the earliest pending event across all domains.
+// Mailboxes are always empty between epochs, so engine heads are the whole
+// story.
+func (s *System) nextEventTime() (Cycle, bool) {
+	var best Cycle
+	found := false
+	for _, e := range s.engines {
+		if t, ok := e.NextTime(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// RunUntil executes epochs until every queue is empty or the next event
+// lies past limit. Events scheduled exactly at the limit are dispatched.
+// It reports whether all queues were drained.
+func (s *System) RunUntil(limit Cycle) bool {
+	// Deliver sends made while the system was quiescent (construction-time
+	// wiring, test setup between runs): epochs only flush their own sends,
+	// and nextEventTime must see these as engine events to pick the right
+	// first epoch.
+	s.flush()
+	for {
+		next, ok := s.nextEventTime()
+		if !ok {
+			return true
+		}
+		if next > limit {
+			return false
+		}
+		// The epoch covers [next, next+lookahead), clamped to the limit.
+		// Every cross-domain send from inside it delivers at or after
+		// sender.now + lookahead >= next + lookahead, so deliveries always
+		// land in a later epoch and the merge at the barrier is safe.
+		hi := limit // inclusive horizon
+		if h := next + s.lookahead - 1; h < hi {
+			hi = h
+		}
+		s.active = s.active[:0]
+		for i, e := range s.engines {
+			if t, ok := e.NextTime(); ok && t <= hi {
+				s.active = append(s.active, i)
+			}
+		}
+		if s.workers > 1 && len(s.active) > 1 {
+			s.runEpochParallel(hi)
+		} else {
+			for _, i := range s.active {
+				s.engines[i].RunUntil(hi)
+			}
+		}
+		s.flush()
+	}
+}
+
+// Run executes epochs until every queue is empty and returns the latest
+// domain clock.
+func (s *System) Run() Cycle {
+	s.RunUntil(^Cycle(0) - s.lookahead)
+	return s.Now()
+}
+
+// Now returns the maximum domain clock — the system-wide notion of "how
+// far has simulated time progressed".
+func (s *System) Now() Cycle {
+	var t Cycle
+	for _, e := range s.engines {
+		if n := e.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// Pending returns the total number of queued events across domains.
+func (s *System) Pending() int {
+	n := 0
+	for _, e := range s.engines {
+		n += e.Pending()
+	}
+	return n
+}
+
+// Dispatched returns the total events dispatched across domains.
+func (s *System) Dispatched() uint64 {
+	var n uint64
+	for _, e := range s.engines {
+		n += e.Dispatched()
+	}
+	return n
+}
+
+// runEpochParallel executes the active engines on the worker pool. Each
+// worker runs whole engines, so a domain's mailbox rows are written by
+// exactly one goroutine per epoch; the channel handoff and WaitGroup give
+// the happens-before edges that make the merge race-free.
+func (s *System) runEpochParallel(hi Cycle) {
+	p := &s.pool
+	if !p.started {
+		p.started = true
+		p.work = make(chan int)
+		for w := 0; w < s.workers; w++ {
+			go func() {
+				for idx := range p.work {
+					s.engines[idx].RunUntil(p.hi)
+					p.wg.Done()
+				}
+			}()
+		}
+	}
+	p.hi = hi
+	p.wg.Add(len(s.active))
+	for _, i := range s.active {
+		p.work <- i
+	}
+	p.wg.Wait()
+}
+
+// Stop shuts the worker pool down. Call when done with a system that ran
+// with workers > 1; safe to call multiple times or on an inline system.
+func (s *System) Stop() {
+	if s.pool.started {
+		close(s.pool.work)
+		s.pool.started = false
+	}
+}
+
+// flush drains every mailbox into its destination engine in the canonical
+// total order: ascending delivery cycle, ties broken by source domain,
+// then by send order within the source. The destination engine assigns
+// fresh sequence numbers in that order, so the merged queue behaves as if
+// a single global scheduler had observed the sends in canonical order —
+// independent of how the epoch was executed.
+func (s *System) flush() {
+	for dst := range s.engines {
+		buf := s.merge[:0]
+		for src := range s.engines {
+			box := s.boxes[src][dst]
+			if len(box) == 0 {
+				continue
+			}
+			buf = append(buf, box...)
+			for i := range box {
+				box[i] = msg{} // release closures
+			}
+			s.boxes[src][dst] = box[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		// Stable insertion sort by delivery cycle: concatenation order is
+		// (src, seq), so stability yields the canonical (when, src, seq)
+		// order. Mailboxes hold a handful of messages per epoch, and an
+		// in-place insertion sort keeps the barrier allocation-free.
+		for i := 1; i < len(buf); i++ {
+			m := buf[i]
+			j := i - 1
+			for j >= 0 && buf[j].when > m.when {
+				buf[j+1] = buf[j]
+				j--
+			}
+			buf[j+1] = m
+		}
+		e := s.engines[dst]
+		for i := range buf {
+			m := &buf[i]
+			if m.fn != nil {
+				e.Schedule(m.when, m.fn)
+			} else {
+				e.ScheduleArg(m.when, m.argFn, m.arg)
+			}
+			*m = msg{}
+		}
+		s.merge = buf[:0]
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSystemValidation(t *testing.T) {
+	for _, tc := range []struct {
+		n  int
+		la Cycle
+	}{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSystem(%d, %d) did not panic", tc.n, tc.la)
+				}
+			}()
+			NewSystem(tc.n, tc.la)
+		}()
+	}
+}
+
+// TestSystemCanonicalMergeOrder pins the epoch-barrier merge order:
+// ascending delivery cycle, ties broken by source domain, then by send
+// order within a source — regardless of the order the sends were made in.
+func TestSystemCanonicalMergeOrder(t *testing.T) {
+	s := NewSystem(3, 10)
+	var order []string
+	deliver := func(tag string) func() {
+		return func() { order = append(order, tag) }
+	}
+	// Domain 2 sends first in wall-clock terms, but domain 1's messages
+	// must still dispatch first on ties (lower source domain).
+	s.Engine(2).Schedule(0, func() {
+		s.Send(2, 0, 50, deliver("d2#0@50"))
+		s.Send(2, 0, 40, deliver("d2#1@40"))
+	})
+	s.Engine(1).Schedule(0, func() {
+		s.Send(1, 0, 50, deliver("d1#0@50"))
+		s.Send(1, 0, 50, deliver("d1#1@50"))
+	})
+	s.Run()
+	want := []string{"d2#1@40", "d1#0@50", "d1#1@50", "d2#0@50"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("merge order = %v, want %v", order, want)
+	}
+}
+
+func TestSystemLookaheadViolationPanics(t *testing.T) {
+	s := NewSystem(2, 10)
+	s.Engine(0).Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send delivering inside the lookahead horizon did not panic")
+			}
+		}()
+		s.Send(0, 1, 105, func() {}) // < now(100) + lookahead(10)
+	})
+	s.Run()
+}
+
+func TestSystemSameDomainSendIsInline(t *testing.T) {
+	s := NewSystem(2, 10)
+	ran := false
+	s.Engine(0).Schedule(100, func() {
+		// src == dst bypasses the mailbox, so sub-lookahead delays are fine.
+		s.Send(0, 0, 101, func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("same-domain send was not delivered")
+	}
+}
+
+func TestSystemRunUntilExactlyAtLimit(t *testing.T) {
+	s := NewSystem(2, 5)
+	var hits []Cycle
+	s.Engine(1).Schedule(100, func() { hits = append(hits, 100) })
+	s.Engine(0).Schedule(101, func() { hits = append(hits, 101) })
+	if s.RunUntil(100) {
+		t.Fatal("RunUntil(100) reported drained with an event pending at 101")
+	}
+	if len(hits) != 1 || hits[0] != 100 {
+		t.Fatalf("dispatched %v, want [100]", hits)
+	}
+	if !s.RunUntil(200) {
+		t.Fatal("RunUntil(200) did not drain")
+	}
+	if len(hits) != 2 {
+		t.Fatalf("dispatched %v, want [100 101]", hits)
+	}
+}
+
+func TestSystemStopIdempotent(t *testing.T) {
+	s := NewSystem(4, 8)
+	s.Stop() // never started: no-op
+	s.SetWorkers(2)
+	for d := 0; d < 4; d++ {
+		d := d
+		s.Engine(d).Schedule(Cycle(d), func() { s.Send(d, (d+1)%4, Cycle(d)+8, func() {}) })
+	}
+	s.Run()
+	s.Stop()
+	s.Stop() // second stop: still a no-op
+}
+
+// synthRun drives a synthetic multi-domain cascade and returns a full
+// dispatch trace. Each domain's callback mutates only domain-owned state;
+// cross-domain sends use a deterministic PRNG for fan-out and delays.
+// The cascade branches supercritically (just under two expected children
+// per event), so a per-domain step cap bounds it; the cap reads only the
+// domain's own log length, whose growth follows the canonical dispatch
+// order and is therefore identical at every worker count.
+func synthRun(workers int) string {
+	const domains, lookahead = 5, 7
+	const maxStepsPerDomain = 1500
+	s := NewSystem(domains, lookahead)
+	s.SetWorkers(workers)
+	defer s.Stop()
+	logs := make([][]string, domains) // domain-owned: no cross-domain writes
+	var step func(d int, state uint64)
+	step = func(d int, state uint64) {
+		if len(logs[d]) >= maxStepsPerDomain {
+			return // saturated: let the remaining chains die out
+		}
+		logs[d] = append(logs[d], fmt.Sprintf("d%d@%d:%x", d, s.Engine(d).Now(), state))
+		if state%13 == 0 {
+			return // chain dies out
+		}
+		r := NewRand(state)
+		for i := 0; i < 1+int(state%3); i++ {
+			dst := r.Intn(domains)
+			delay := Cycle(lookahead + r.Intn(20))
+			next := state*6364136223846793005 + uint64(i) + 1442695040888963407
+			s.SendArg(d, dst, s.Engine(d).Now()+delay, func(v uint64) { step(dst, v) }, next)
+		}
+	}
+	for d := 0; d < domains; d++ {
+		d := d
+		seed := uint64(d + 1)
+		s.Engine(d).Schedule(Cycle(d), func() { step(d, seed) })
+	}
+	s.RunUntil(4000)
+	out := ""
+	for d := 0; d < domains; d++ {
+		for _, l := range logs[d] {
+			out += l + "\n"
+		}
+	}
+	return fmt.Sprintf("now=%d dispatched=%d\n%s", s.Now(), s.Dispatched(), out)
+}
+
+// TestSystemWorkerCountByteIdentity is the determinism contract: the same
+// event cascade produces an identical dispatch trace at any worker count,
+// including inline execution.
+func TestSystemWorkerCountByteIdentity(t *testing.T) {
+	ref := synthRun(1)
+	if len(ref) < 100 {
+		t.Fatalf("synthetic cascade too small to be meaningful:\n%s", ref)
+	}
+	for _, w := range []int{2, 3, 8} {
+		if got := synthRun(w); got != ref {
+			t.Errorf("workers=%d diverged from inline execution\ninline:\n%.300s\nworkers=%d:\n%.300s", w, ref, w, got)
+		}
+	}
+}
