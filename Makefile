@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet test-race trace-smoke bench bench-hotpath experiments experiments-par examples clean
+.PHONY: build test vet test-race trace-smoke sweepd-smoke bench bench-hotpath experiments experiments-par examples clean
 
 build:
 	$(GO) build ./...
@@ -17,13 +17,20 @@ test:
 # experiment runner it drives, and the event engine underneath.
 # internal/core rides along for the UVM-runtime regression tests.
 test-race:
-	$(GO) test -race -timeout 20m ./internal/harness ./internal/exp ./internal/sim ./internal/core ./internal/gpu
+	$(GO) test -race -timeout 20m ./internal/harness ./internal/exp ./internal/sim ./internal/core ./internal/gpu ./internal/server
 
 # Traced smoke: a short run with -trace must produce structurally valid
 # Chrome trace-event JSON (same check CI runs).
 trace-smoke:
 	$(GO) run ./cmd/uvmsim -workload BFS-TTC -policy to+ue -vertices 16384 -trace smoke.json > /dev/null
 	$(GO) run ./cmd/tracecheck smoke.json
+
+# Sweep-service smoke: build the real sweepd binary, race two clients
+# submitting the same grid, assert exactly-once execution and
+# byte-identical served summaries, then drain cleanly over HTTP (same
+# check CI runs; see DESIGN.md §15).
+sweepd-smoke:
+	$(GO) test -run TestSweepdSmoke -v ./cmd/sweepd
 
 # The recorded artifacts: full test log and benchmark log.
 test_output.txt:

@@ -29,10 +29,8 @@ import (
 	"syscall"
 	"time"
 
-	"uvmsim/internal/config"
 	"uvmsim/internal/exp"
 	"uvmsim/internal/harness"
-	"uvmsim/internal/workload"
 )
 
 // defaultCacheDir is where -resume keeps results when -cachedir is unset.
@@ -80,6 +78,7 @@ func main() {
 	resume := flag.Bool("resume", false, "reuse cached results from an earlier (possibly interrupted) sweep; implies -cachedir "+defaultCacheDir+" when unset")
 	benchJSON := flag.String("bench-json", "", "write sweep telemetry (wall time, speedup, cache hits) to this JSON file")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event JSON execution trace per freshly-run job into this directory (cache hits are not traced)")
+	progressJSON := flag.String("progress-json", "", "stream one JSON line per finished job to this file ('-' for stderr) — the same event format sweepd serves")
 	compiled := flag.Bool("compiled", true, "replay workloads from compiled flat traces shared across jobs (identical results; -compiled=false regenerates streams live, using less memory)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
@@ -92,27 +91,9 @@ func main() {
 	}
 	defer stopProf()
 
-	p := workload.Default()
-	p.Seed = *seed
-	switch *scale {
-	case "paper":
-		// Footprints of 300-650 64KB pages: the same capacity-to-live-set
-		// geometry as the paper's truncated GraphBIG inputs (DESIGN.md §7)
-		// at a cost of roughly an hour on one core.
-		p.Vertices = 1 << 18
-		p.AvgDegree = 16
-		p.ThreadsPerBlock = 1024
-	case "large":
-		// Closest to the paper's absolute footprints; several hours serial.
-		p.Vertices = 1 << 19
-		p.AvgDegree = 16
-		p.ThreadsPerBlock = 1024
-	case "small":
-		p.Vertices = 1 << 17
-		p.AvgDegree = 8
-		p.ThreadsPerBlock = 1024
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+	p, err := exp.ScaleParams(*scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -156,6 +137,19 @@ func main() {
 		}
 	}
 	reporter := harness.NewReporter(progress)
+	if *progressJSON != "" {
+		if *progressJSON == "-" {
+			reporter.Events = os.Stderr
+		} else {
+			f, err := os.Create(*progressJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			reporter.Events = f
+		}
+	}
 	pool := harness.New(harness.Options{
 		Jobs:     *jobs,
 		Par:      *par,
@@ -172,12 +166,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	base := config.Default()
-	// Deep-oversubscription points of the Figure 17 sweep can thrash far
-	// past the paper's 64x slowdowns at our scaled footprints; cap them
-	// and report lower bounds rather than running for hours.
-	base.MaxCycles = 1_000_000_000
-	r := exp.NewRunner(p, base)
+	// The shared base (Table 1 defaults + the anti-thrash cycle cap) comes
+	// from exp so sweepd submissions reproduce these grids byte for byte.
+	r := exp.NewRunner(p, exp.DefaultBase())
 	r.Pool = pool
 	r.Par = pool.Par()
 	r.Ctx = ctx

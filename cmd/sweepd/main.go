@@ -1,0 +1,129 @@
+// Command sweepd runs the simulation sweep service: an HTTP/JSON daemon
+// accepting experiment-grid submissions (figure presets or explicit
+// run lists), executing them on a persistent worker pool behind a
+// bounded priority queue, and serving results and execution traces from
+// content-addressed stores shared with the CLI tools.
+//
+//	sweepd -addr 127.0.0.1:8321 -jobs 8 -cachedir .uvmsim-cache
+//
+// The API lives under /api/v1 (see DESIGN.md §15 and EXPERIMENTS.md for
+// curl examples):
+//
+//	POST /api/v1/grids            submit a grid; 429 + Retry-After under load
+//	GET  /api/v1/grids/{id}       poll status
+//	GET  /api/v1/grids/{id}/events   stream JSON-lines progress
+//	GET  /api/v1/grids/{id}/results  per-job metrics summaries
+//	GET  /api/v1/grids/{id}/figure   render a preset grid's figure table
+//	GET  /api/v1/results?key=     one stored result by cache key
+//	GET  /api/v1/traces?key=      one execution trace by cache key
+//	GET  /api/v1/stores           store occupancy and run counters
+//	POST /api/v1/shutdown         graceful drain (or send SIGINT/SIGTERM)
+//
+// Shutdown — via the endpoint or one signal — finishes in-flight jobs
+// (their results land in the store) and drops pending ones; because the
+// store is the same on-disk cache cmd/experiments resumes from, nothing
+// completed is ever lost. A second signal interrupts in-flight work too.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uvmsim/internal/harness"
+	"uvmsim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port, printed on startup)")
+	cacheDir := flag.String("cachedir", ".uvmsim-cache", "shared on-disk result store (the same format cmd/experiments -cachedir uses)")
+	traceDir := flag.String("trace-dir", "", "content-addressed execution trace store; empty disables tracing")
+	jobs := flag.Int("jobs", 0, "worker pool width; 0 = one per CPU")
+	par := flag.Int("par", 1, "intra-run parallelism stamped on jobs (part of the cache key when > 1)")
+	queueCap := flag.Int("queue", 256, "max pending jobs before submissions get 429; 0 = unbounded")
+	timeout := flag.Duration("timeout", 0, "per-simulation wall-time limit; 0 = none")
+	flag.Parse()
+
+	cache, err := harness.OpenCache(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	pool := harness.New(harness.Options{
+		Jobs:       *jobs,
+		Par:        *par,
+		Timeout:    *timeout,
+		Cache:      cache,
+		Reporter:   harness.NewReporter(os.Stderr),
+		TraceDir:   *traceDir,
+		TraceKeyed: true, // clients derive trace names from job keys
+	})
+	srv, err := server.New(server.Options{Pool: pool, QueueCap: *queueCap})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("sweepd listening on http://%s (workers=%d queue=%d cache=%s entries=%d)\n",
+		ln.Addr(), pool.Workers(), *queueCap, *cacheDir, cache.Len())
+
+	httpSrv := &http.Server{Handler: srv}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+
+	// First signal: graceful drain (same as POST /shutdown). Second:
+	// interrupt in-flight simulations too.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "sweepd: draining (finishing in-flight jobs; signal again to interrupt)")
+		dropped := srv.Shutdown()
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "sweepd: dropped %d pending jobs (not yet started; nothing cached is lost)\n", dropped)
+		}
+	}()
+
+	// Run returns once the queue is closed (endpoint or signal) and the
+	// in-flight jobs have drained. A second signal cancels hardCtx and
+	// interrupts workers.
+	hardCtx, hardStop := context.WithCancel(context.Background())
+	defer hardStop()
+	go func() {
+		<-ctx.Done()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case <-sig:
+			hardStop()
+		case <-hardCtx.Done():
+		}
+	}()
+	runErr := srv.Run(hardCtx)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutCtx)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "sweepd: drained; results remain in "+*cacheDir)
+}

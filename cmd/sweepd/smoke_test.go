@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSweepdSmoke is the end-to-end daemon check (`make sweepd-smoke`):
+// build the real binary, start it, race two clients submitting the same
+// grid, and assert each job simulated exactly once with byte-identical
+// summaries served to both; then shut down gracefully over HTTP and
+// require a clean exit.
+func TestSweepdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sweepd binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "sweepd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sweepd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cachedir", filepath.Join(dir, "cache"),
+		"-trace-dir", filepath.Join(dir, "traces"),
+		"-jobs", "2", "-queue", "64")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var exitErr error
+	exited := make(chan struct{}) // closed once the daemon process is gone
+	go func() { exitErr = cmd.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+	}()
+
+	// The startup line carries the bound address (port 0 was requested).
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listening line from sweepd; stderr:\n%s", stderr.String())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	body := `{"scale":"small","vertices":65536,"avg_degree":6,"runs":[
+		{"workload":"BFS-TTC","ratio":0.5},
+		{"workload":"BFS-TTC","ratio":1.0}]}`
+
+	// Two clients race the same grid.
+	type outcome struct {
+		id      string
+		results []byte
+		err     error
+	}
+	var wg sync.WaitGroup
+	outcomes := make([]outcome, 2)
+	for i := range outcomes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i] = runClient(base, body)
+		}(i)
+	}
+	wg.Wait()
+	for i, o := range outcomes {
+		if o.err != nil {
+			t.Fatalf("client %d: %v\nstderr:\n%s", i, o.err, stderr.String())
+		}
+	}
+
+	// Byte-identical summaries for both clients (grid IDs differ, so
+	// compare the per-job summary payloads, not whole bodies).
+	sumA, errA := summaries(outcomes[0].results)
+	sumB, errB := summaries(outcomes[1].results)
+	if errA != nil || errB != nil {
+		t.Fatalf("decoding results: %v / %v", errA, errB)
+	}
+	if len(sumA) != 2 || len(sumB) != 2 {
+		t.Fatalf("expected 2 summaries each, got %d and %d", len(sumA), len(sumB))
+	}
+	for i := range sumA {
+		if !bytes.Equal(sumA[i], sumB[i]) {
+			t.Errorf("job %d: clients saw different summaries:\n%s\n%s", i, sumA[i], sumB[i])
+		}
+	}
+
+	// Exactly-once: the pool ran each of the 2 jobs once, total.
+	var stores struct {
+		Totals struct {
+			Done int `json:"Done"`
+		} `json:"totals"`
+	}
+	if err := getJSON(base+"/api/v1/stores", &stores); err != nil {
+		t.Fatal(err)
+	}
+	if stores.Totals.Done != 2 {
+		t.Errorf("pool ran %d fresh jobs, want exactly 2 (one per grid point across both clients)", stores.Totals.Done)
+	}
+
+	// Graceful shutdown over HTTP; the process must exit cleanly.
+	resp, err := http.Post(base+"/api/v1/shutdown", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	select {
+	case <-exited:
+		if exitErr != nil {
+			t.Fatalf("sweepd exited with %v\nstderr:\n%s", exitErr, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("sweepd did not exit after shutdown\nstderr:\n%s", stderr.String())
+	}
+}
+
+// runClient submits the grid, polls it to completion, and fetches the
+// results body.
+func runClient(base, body string) (o struct {
+	id      string
+	results []byte
+	err     error
+}) {
+	resp, err := http.Post(base+"/api/v1/grids", "application/json", strings.NewReader(body))
+	if err != nil {
+		o.err = err
+		return
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		o.err = fmt.Errorf("submit returned %d: %s", resp.StatusCode, data)
+		return
+	}
+	var st struct {
+		ID   string `json:"id"`
+		Done bool   `json:"done"`
+	}
+	if o.err = json.Unmarshal(data, &st); o.err != nil {
+		return
+	}
+	o.id = st.ID
+	deadline := time.Now().Add(2 * time.Minute)
+	for !st.Done {
+		if time.Now().After(deadline) {
+			o.err = fmt.Errorf("grid %s did not finish", st.ID)
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+		if o.err = getJSON(base+"/api/v1/grids/"+st.ID, &st); o.err != nil {
+			return
+		}
+	}
+	r, err := http.Get(base + "/api/v1/grids/" + st.ID + "/results")
+	if err != nil {
+		o.err = err
+		return
+	}
+	o.results, _ = io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		o.err = fmt.Errorf("results returned %d: %s", r.StatusCode, o.results)
+	}
+	return
+}
+
+// summaries extracts the raw summary JSON per job from a results body.
+func summaries(body []byte) ([][]byte, error) {
+	var out struct {
+		Results []struct {
+			Summary json.RawMessage `json:"summary"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	var sums [][]byte
+	for _, r := range out.Results {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, r.Summary); err != nil {
+			return nil, err
+		}
+		sums = append(sums, buf.Bytes())
+	}
+	return sums, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s returned %d: %s", url, resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,112 +1,20 @@
 // Command tracecheck structurally validates a Chrome trace-event JSON
-// file produced by the execution tracer (cmd/uvmsim -trace, or the
-// harness's per-job TraceDir). It is the CI smoke for the telemetry
-// export: the object form, the required per-event fields, and the
-// batch-span nesting invariant (every migration span lies inside some
-// batch span). Exit status 0 means Perfetto will load the file and the
-// spans mean what DESIGN.md §12 says they mean.
+// file produced by the execution tracer (cmd/uvmsim -trace, the
+// harness's per-job TraceDir, or sweepd's trace store). It is the CI
+// smoke for the telemetry export; the checks themselves live in
+// telemetry.Check so any trace consumer can run them. Exit status 0
+// means Perfetto will load the file and the spans mean what DESIGN.md
+// §12 says they mean.
 //
 // Usage: tracecheck file.json [file2.json ...]
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
-	"strings"
+
+	"uvmsim/internal/telemetry"
 )
-
-type traceEvent struct {
-	Name  string         `json:"name"`
-	Phase string         `json:"ph"`
-	TS    *float64       `json:"ts"`
-	Dur   *float64       `json:"dur"`
-	PID   *int           `json:"pid"`
-	TID   *int           `json:"tid"`
-	Args  map[string]any `json:"args"`
-}
-
-type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
-}
-
-func check(path string) error {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var tf traceFile
-	if err := json.Unmarshal(buf, &tf); err != nil {
-		return fmt.Errorf("not trace-event JSON object form: %w", err)
-	}
-	if tf.TraceEvents == nil {
-		return fmt.Errorf("missing traceEvents array")
-	}
-
-	type span struct{ start, end float64 }
-	var batches []span
-	var spans, counters, batchSpans, migrations int
-	for i, ev := range tf.TraceEvents {
-		if ev.Name == "" || ev.Phase == "" {
-			return fmt.Errorf("event %d: missing name or ph", i)
-		}
-		if ev.PID == nil || ev.TID == nil || ev.TS == nil {
-			return fmt.Errorf("event %d (%s): missing pid, tid, or ts", i, ev.Name)
-		}
-		switch ev.Phase {
-		case "X":
-			if ev.Dur == nil {
-				return fmt.Errorf("event %d (%s): complete span without dur", i, ev.Name)
-			}
-			spans++
-			switch {
-			case ev.Name == "batch":
-				batchSpans++
-				batches = append(batches, span{*ev.TS, *ev.TS + *ev.Dur})
-			case strings.HasPrefix(ev.Name, "migrate"):
-				migrations++
-			}
-		case "C":
-			if ev.Args == nil {
-				return fmt.Errorf("event %d (%s): counter without args", i, ev.Name)
-			}
-			counters++
-		}
-	}
-	if spans == 0 {
-		return fmt.Errorf("no complete ('X') spans — empty or truncated run")
-	}
-
-	// Nesting invariant: every migration span sits inside a batch span.
-	// The tolerance absorbs float64 rounding of ts+dur (timestamps are
-	// exact multiples of 0.001 µs — one cycle — so 1e-6 µs of slack can
-	// never mask a genuine off-by-a-cycle escape).
-	const eps = 1e-6
-	orphans := 0
-	for _, ev := range tf.TraceEvents {
-		if ev.Phase != "X" || !strings.HasPrefix(ev.Name, "migrate") {
-			continue
-		}
-		inside := false
-		for _, b := range batches {
-			if *ev.TS >= b.start-eps && *ev.TS+*ev.Dur <= b.end+eps {
-				inside = true
-				break
-			}
-		}
-		if !inside {
-			orphans++
-		}
-	}
-	if orphans > 0 {
-		return fmt.Errorf("%d migration spans outside every batch span", orphans)
-	}
-
-	fmt.Printf("%s: ok — %d events (%d spans, %d batches, %d migrations, %d counter samples)\n",
-		path, len(tf.TraceEvents), spans, batchSpans, migrations, counters)
-	return nil
-}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -114,9 +22,16 @@ func main() {
 		os.Exit(2)
 	}
 	for _, path := range os.Args[1:] {
-		if err := check(path); err != nil {
+		buf, err := os.ReadFile(path)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			os.Exit(1)
 		}
+		st, err := telemetry.Check(buf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok — %s\n", path, st)
 	}
 }

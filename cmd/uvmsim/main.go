@@ -22,16 +22,6 @@ import (
 	"uvmsim/internal/workload"
 )
 
-var policyByName = map[string]config.Policy{
-	"baseline":       config.Baseline,
-	"baseline+pciec": config.BaselineCompressed,
-	"to":             config.TO,
-	"ue":             config.UE,
-	"to+ue":          config.TOUE,
-	"etc":            config.ETC,
-	"ideal-eviction": config.IdealEviction,
-}
-
 func main() {
 	name := flag.String("workload", "BFS-TTC", "workload name (see -list)")
 	policy := flag.String("policy", "baseline", "baseline|baseline+pciec|to|ue|to+ue|etc|ideal-eviction")
@@ -63,9 +53,9 @@ func main() {
 		return
 	}
 
-	pol, ok := policyByName[strings.ToLower(*policy)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+	pol, err := config.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -81,7 +71,6 @@ func main() {
 	cfg.UVM.TrackDirty = *dirty
 
 	var w *trace.Workload
-	var err error
 	if *traceIn != "" {
 		f, ferr := os.Open(*traceIn)
 		if ferr != nil {

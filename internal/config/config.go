@@ -2,7 +2,11 @@
 // paper) and the knobs for the proposed mechanisms and baselines.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Policy selects which memory-management mechanism the simulated UVM
 // runtime uses. The names follow Figure 11 of the paper.
@@ -44,6 +48,29 @@ func (p Policy) String() string {
 		return s
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps a policy name — case-insensitively, so both the
+// figure labels Policy.String prints ("TO+UE") and the lowercase CLI
+// forms ("to+ue") parse — to its value. Shared by cmd/uvmsim's -policy
+// flag and sweepd's JSON submissions.
+func ParsePolicy(s string) (Policy, error) {
+	for p, name := range policyNames {
+		if strings.EqualFold(s, name) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown policy %q (have %s)", s, strings.Join(PolicyNames(), ", "))
+}
+
+// PolicyNames lists every policy's canonical name, sorted.
+func PolicyNames() []string {
+	names := make([]string, 0, len(policyNames))
+	for _, n := range policyNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // OversubscribesThreads reports whether the policy context-switches in

@@ -11,25 +11,41 @@ import (
 // table code stays the straight-line, order-preserving loop the serial
 // path uses. A driver absent from warmers (table1) runs no simulations.
 //
-// Grids must enumerate exactly the runs their driver performs: a missing
-// point silently degrades to an inline serial run during assembly
-// (TestWarmersCoverDrivers guards this).
+// The gridFigXX enumerations are shared with the HTTP submission surface
+// (submit.go): a sweepd preset submission and a CLI figure warm the
+// identical spec list. Grids must enumerate exactly the runs their
+// driver performs: a missing point silently degrades to an inline serial
+// run during assembly (TestWarmersCoverDrivers guards this).
 
-// warmers maps driver IDs to their grid submission functions.
+// warmers maps driver IDs to their grid submission functions. The
+// single-wave figures warm their shared preset grid; fig01 (trace
+// builds only) and fig17 (staged: wave two's cycle caps derive from
+// wave one's results) keep bespoke warmers.
 var warmers = map[string]func(*Runner) error{
 	"fig01":        warmFig01,
-	"fig03":        warmFig03,
-	"fig05":        warmFig05,
-	"fig08":        warmFig08,
-	"fig11":        warmFig11,
-	"fig12":        warmFig12,
-	"fig13":        warmFig13,
-	"fig14":        warmFig14,
-	"fig15":        warmFig15,
-	"fig16":        warmFig16,
+	"fig03":        warmPreset("fig03"),
+	"fig05":        warmPreset("fig05"),
+	"fig08":        warmPreset("fig08"),
+	"fig11":        warmPreset("fig11"),
+	"fig12":        warmPreset("fig12"),
+	"fig13":        warmPreset("fig13"),
+	"fig14":        warmPreset("fig14"),
+	"fig15":        warmPreset("fig15"),
+	"fig16":        warmPreset("fig16"),
 	"fig17":        warmFig17,
-	"fig18":        warmFig18,
-	"ext-runahead": warmExtRunahead,
+	"fig18":        warmPreset("fig18"),
+	"ext-runahead": warmPreset("ext-runahead"),
+}
+
+// warmPreset submits the named preset grid through the runner's pool.
+func warmPreset(id string) func(*Runner) error {
+	return func(r *Runner) error {
+		specs, err := PresetSpecs(id, r)
+		if err != nil {
+			return err
+		}
+		return r.RunBatch(specs)
+	}
 }
 
 // policySpec returns a spec running name under the given policy.
@@ -56,11 +72,11 @@ func warmFig01(r *Runner) error {
 	return r.BuildWorkloads(names)
 }
 
-func warmFig03(r *Runner) error {
-	return r.RunBatch([]RunSpec{{Name: "BFS-TTC"}})
+func gridFig03(r *Runner) []RunSpec {
+	return []RunSpec{{Name: "BFS-TTC"}}
 }
 
-func warmFig05(r *Runner) error {
+func gridFig05(r *Runner) []RunSpec {
 	var specs []RunSpec
 	for _, name := range r.suite() {
 		specs = append(specs,
@@ -70,10 +86,10 @@ func warmFig05(r *Runner) error {
 				c.TraditionalSwitch = true
 			}})
 	}
-	return r.RunBatch(specs)
+	return specs
 }
 
-func warmFig08(r *Runner) error {
+func gridFig08(r *Runner) []RunSpec {
 	var specs []RunSpec
 	for _, name := range r.suite() {
 		specs = append(specs,
@@ -81,26 +97,23 @@ func warmFig08(r *Runner) error {
 			RunSpec{Name: name},
 			policySpec(name, config.IdealEviction))
 	}
-	return r.RunBatch(specs)
+	return specs
 }
 
-func warmFig11(r *Runner) error {
-	return r.RunBatch(suiteGrid(r, fig11Policies...))
+func gridFig11(r *Runner) []RunSpec {
+	return suiteGrid(r, fig11Policies...)
 }
 
-func warmFig12(r *Runner) error {
-	return r.RunBatch(suiteGrid(r, config.TO))
+func gridFig12(r *Runner) []RunSpec {
+	return suiteGrid(r, config.TO)
 }
 
-func warmFig13(r *Runner) error { return warmFig12(r) }
-func warmFig15(r *Runner) error { return warmFig12(r) }
-
-func warmFig14(r *Runner) error {
-	return r.RunBatch(suiteGrid(r, config.TO, config.TOUE))
+func gridFig14(r *Runner) []RunSpec {
+	return suiteGrid(r, config.TO, config.TOUE)
 }
 
-func warmFig16(r *Runner) error {
-	return r.RunBatch([]RunSpec{{Name: "BFS-TTC"}, policySpec("BFS-TTC", config.TO)})
+func gridFig16(r *Runner) []RunSpec {
+	return []RunSpec{{Name: "BFS-TTC"}, policySpec("BFS-TTC", config.TO)}
 }
 
 // warmFig17 is the one staged grid: the ratio sweep's cycle caps derive
@@ -140,7 +153,7 @@ func warmFig17(r *Runner) error {
 	return r.RunBatch(specs)
 }
 
-func warmFig18(r *Runner) error {
+func gridFig18(r *Runner) []RunSpec {
 	var specs []RunSpec
 	for _, name := range r.sensitivitySet() {
 		for _, us := range fig18Times {
@@ -152,10 +165,10 @@ func warmFig18(r *Runner) error {
 				}})
 		}
 	}
-	return r.RunBatch(specs)
+	return specs
 }
 
-func warmExtRunahead(r *Runner) error {
+func gridExtRunahead(r *Runner) []RunSpec {
 	var specs []RunSpec
 	for _, name := range r.suite() {
 		specs = append(specs, RunSpec{Name: name})
@@ -171,5 +184,5 @@ func warmExtRunahead(r *Runner) error {
 			}})
 		}
 	}
-	return r.RunBatch(specs)
+	return specs
 }

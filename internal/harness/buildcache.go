@@ -56,3 +56,38 @@ func (c *BuildCache) Len() int {
 	defer c.mu.Unlock()
 	return len(c.entries)
 }
+
+// Forget drops the entry for key, so the next Get rebuilds it. An
+// in-flight build is detached rather than interrupted: it completes and
+// is delivered to the callers already waiting on it, but is no longer
+// cached. One-shot sweeps never need this; a long-running daemon uses it
+// (with DropErrors) so a transiently failed build does not poison its
+// key for the life of the process.
+func (c *BuildCache) Forget(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, key)
+}
+
+// DropErrors removes every completed entry that memoized a build error,
+// returning how many were dropped. In-flight builds are left alone
+// (their outcome is unknown), and successful artifacts are kept, so the
+// default memoize-everything semantics of a one-shot sweep are
+// untouched — a daemon simply calls this between submissions to give
+// transient failures another chance.
+func (c *BuildCache) DropErrors() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, e := range c.entries {
+		select {
+		case <-e.ready:
+			if e.err != nil {
+				delete(c.entries, key)
+				n++
+			}
+		default: // still building
+		}
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Event is one machine-readable progress record. The Reporter emits one
+// per job completion (Type "job") as a JSON line when Events is set; the
+// sweepd daemon streams the same records per grid over HTTP, adding a
+// terminal Type "grid" record, so a CLI sweep's progress log and a
+// service client's event stream parse identically.
+type Event struct {
+	// Type is "job" for a job completion, "grid" for sweepd's terminal
+	// grid record.
+	Type string `json:"type"`
+	// ID is the human-readable job label (or grid ID for Type "grid").
+	ID string `json:"id"`
+	// Key is the job's cache identity (empty for grid records).
+	Key      string `json:"key,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Par      int    `json:"par,omitempty"`
+	// Status is "done", "cached" (served from the result store), or
+	// "failed"; sweepd additionally uses "stored" for jobs answered from
+	// the store at submission time.
+	Status string `json:"status"`
+	Err    string `json:"error,omitempty"`
+	WallNS int64  `json:"wall_ns,omitempty"`
+	// Completed and Submitted are the emitting scope's progress counters:
+	// sweep-wide for Reporter events, per-grid for sweepd streams.
+	Completed int `json:"completed"`
+	Submitted int `json:"submitted"`
+}
+
+// JobEvent builds the progress event for one finished job against the
+// given counters.
+func JobEvent(res *Result, completed, submitted int) Event {
+	status := "done"
+	switch {
+	case res.Cached:
+		status = "cached"
+	case res.Err != "":
+		status = "failed"
+	}
+	return Event{
+		Type:      "job",
+		ID:        res.ID,
+		Key:       res.Key(),
+		Workload:  res.Workload,
+		Seed:      res.Seed,
+		Par:       res.Par,
+		Status:    status,
+		Err:       res.Err,
+		WallNS:    res.WallNS,
+		Completed: completed,
+		Submitted: submitted,
+	}
+}
+
+// AppendJSONLine appends the event's JSON encoding plus a newline to buf.
+func (e Event) AppendJSONLine(buf []byte) ([]byte, error) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return buf, fmt.Errorf("harness: encoding event: %w", err)
+	}
+	buf = append(buf, data...)
+	return append(buf, '\n'), nil
+}
+
+// ParseEvent decodes one JSON line (as written by AppendJSONLine).
+func ParseEvent(line []byte) (Event, error) {
+	var e Event
+	if err := json.Unmarshal(bytes.TrimSpace(line), &e); err != nil {
+		return Event{}, fmt.Errorf("harness: decoding event: %w", err)
+	}
+	return e, nil
+}

@@ -58,19 +58,26 @@ type Options struct {
 	// trace per freshly-run job into this directory (see TracePath). The
 	// directory must exist; cache hits produce no trace.
 	TraceDir string
+	// TraceKeyed names trace files by a hash of the job's cache key
+	// instead of its display ID, turning TraceDir into a content-
+	// addressed trace store: every client asking for the same job finds
+	// the same file (see KeyedTraceFile). Used by sweepd; the CLI keeps
+	// ID-derived names, which are friendlier to browse.
+	TraceKeyed bool
 }
 
 // Pool runs job batches over a fixed-width worker pool. A Pool may be
 // reused across many Run calls (a sweep per figure, say); its reporter
 // accumulates totals across all of them.
 type Pool struct {
-	workers  int
-	par      int
-	timeout  time.Duration
-	retries  int
-	cache    *Cache
-	rep      *Reporter
-	traceDir string
+	workers    int
+	par        int
+	timeout    time.Duration
+	retries    int
+	cache      *Cache
+	rep        *Reporter
+	traceDir   string
+	traceKeyed bool
 }
 
 // New builds a pool from opts.
@@ -99,13 +106,14 @@ func New(opts Options) *Pool {
 	}
 	rep.setWorkers(workers)
 	return &Pool{
-		workers:  workers,
-		par:      par,
-		timeout:  opts.Timeout,
-		retries:  retries,
-		cache:    opts.Cache,
-		rep:      rep,
-		traceDir: opts.TraceDir,
+		workers:    workers,
+		par:        par,
+		timeout:    opts.Timeout,
+		retries:    retries,
+		cache:      opts.Cache,
+		rep:        rep,
+		traceDir:   opts.TraceDir,
+		traceKeyed: opts.TraceKeyed,
 	}
 }
 
@@ -121,6 +129,9 @@ func (p *Pool) Reporter() *Reporter { return p.rep }
 
 // Cache returns the pool's result cache (nil when caching is off).
 func (p *Pool) Cache() *Cache { return p.cache }
+
+// TraceDir returns the pool's execution-trace directory ("" = untraced).
+func (p *Pool) TraceDir() string { return p.traceDir }
 
 // Run executes jobs and returns their results in submission order. It
 // never fails the sweep because one job failed: per-job errors are
@@ -184,7 +195,11 @@ func (p *Pool) runJob(ctx context.Context, j Job, exec Executor) Result {
 	res := Result{ID: j.ID, Workload: j.Workload, Hash: j.Hash, Seed: j.Seed, Par: j.Par}
 	tracePath := ""
 	if p.traceDir != "" {
-		tracePath = filepath.Join(p.traceDir, traceFileName(j.ID))
+		name := traceFileName(j.ID)
+		if p.traceKeyed {
+			name = KeyedTraceFile(j.Key())
+		}
+		tracePath = filepath.Join(p.traceDir, name)
 		ctx = withTracePath(ctx, tracePath)
 	}
 	start := time.Now()

@@ -445,3 +445,93 @@ func TestPoolParInCacheKey(t *testing.T) {
 		t.Fatalf("fresh runs by parallelism = %v, want one each at 1 and 4", runsAt)
 	}
 }
+
+// TestCancelMidSweepThenResume is the full interrupted-sweep story in
+// one test: a mid-sweep context cancel propagates through the worker
+// pool into the executors, in-flight jobs stop promptly (well before
+// their natural runtime), the jobs completed before the cancel keep
+// their cache entries, and a rerun against the same cache serves those
+// from disk while freshly running only the interrupted remainder —
+// exactly what `cmd/experiments -resume` (and a sweepd restart) rely on.
+func TestCancelMidSweepThenResume(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = fakeJob(i)
+	}
+	const completeBeforeCancel = 3
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var completed atomic.Int32
+	p := New(Options{Jobs: 1, Cache: cache}) // serial: completion order is submission order
+	start := time.Now()
+	results, err := p.Run(ctx, jobs, func(ctx context.Context, j Job) (*metrics.Stats, error) {
+		if completed.Load() >= completeBeforeCancel {
+			cancel()
+			// Simulate a long-running simulation that honors cancellation:
+			// it must return promptly, not after its natural (long) runtime.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(30 * time.Second):
+				return statsFor(j), nil
+			}
+		}
+		completed.Add(1)
+		return statsFor(j), nil
+	})
+	if err == nil {
+		t.Fatal("canceled sweep reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v to unwind; in-flight job did not stop promptly", elapsed)
+	}
+	for i := 0; i < completeBeforeCancel; i++ {
+		if results[i].Err != "" {
+			t.Fatalf("pre-cancel job %d failed: %s", i, results[i].Err)
+		}
+		if _, ok := cache.Get(jobs[i].Key()); !ok {
+			t.Fatalf("completed job %d missing from the cache", i)
+		}
+	}
+	for i := completeBeforeCancel; i < len(jobs); i++ {
+		if results[i].Err == "" {
+			t.Fatalf("post-cancel job %d claims success", i)
+		}
+		if _, ok := cache.Get(jobs[i].Key()); ok {
+			t.Fatalf("interrupted job %d left a cache entry; resume would wrongly skip it", i)
+		}
+	}
+
+	// The resumed sweep: same jobs, same cache, fresh context and pool.
+	var resumedFresh atomic.Int32
+	p2 := New(Options{Jobs: 2, Cache: cache})
+	results2, err := p2.Run(context.Background(), jobs, func(_ context.Context, j Job) (*metrics.Stats, error) {
+		resumedFresh.Add(1)
+		return statsFor(j), nil
+	})
+	if err != nil {
+		t.Fatalf("resumed sweep failed: %v", err)
+	}
+	if n := resumedFresh.Load(); int(n) != len(jobs)-completeBeforeCancel {
+		t.Fatalf("resume ran %d jobs fresh, want %d", n, len(jobs)-completeBeforeCancel)
+	}
+	cached := 0
+	for i, res := range results2 {
+		if res.Err != "" {
+			t.Fatalf("resumed job %d failed: %s", i, res.Err)
+		}
+		if res.Cached {
+			cached++
+		}
+		if res.Stats == nil || res.Stats.Cycles != statsFor(jobs[i]).Cycles {
+			t.Fatalf("resumed job %d has wrong stats", i)
+		}
+	}
+	if cached != completeBeforeCancel {
+		t.Fatalf("resume served %d jobs from cache, want %d", cached, completeBeforeCancel)
+	}
+}

@@ -1,0 +1,276 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file is the daemon-shaped entry point to the pool: where Run
+// executes one finite batch and returns, a long-running service (cmd/
+// sweepd) feeds an unbounded stream of jobs through a bounded priority
+// Queue into Pool.Serve, whose workers live for the life of the process.
+// Each queued Task carries its own executor, so jobs built by different
+// runners (different workload scales, say) share one pool.
+
+// ErrQueueFull is returned by Push when admitting the tasks would exceed
+// the queue's capacity. Callers translate it into back-pressure (sweepd
+// answers 429 with a Retry-After estimate).
+var ErrQueueFull = errors.New("harness: queue full")
+
+// ErrQueueClosed is returned by Push after Close, and by Pop once a
+// closed queue has drained.
+var ErrQueueClosed = errors.New("harness: queue closed")
+
+// Task is one queued unit of work: a job, the executor that runs it, and
+// a completion signal. A task is created once, pushed once, and completed
+// exactly once — either by a pool worker or by Abort.
+type Task struct {
+	// Job is the work's identity; the pool stamps Par and consults the
+	// result cache exactly as it does for batch runs.
+	Job Job
+	// Exec runs the job. Tasks from different submitters may carry
+	// different executors through one shared queue.
+	Exec Executor
+	// Priority orders the queue: higher pops sooner; equal priorities pop
+	// FIFO.
+	Priority int
+
+	// ctx, when non-nil, cancels this task independently of the serving
+	// pool (a client abandoning its submission, say).
+	ctx context.Context
+
+	once sync.Once
+	done chan struct{}
+	res  Result
+}
+
+// NewTask builds a task. ctx may be nil, meaning the task lives as long
+// as the serving pool does.
+func NewTask(ctx context.Context, j Job, exec Executor, priority int) *Task {
+	return &Task{Job: j, Exec: exec, Priority: priority, ctx: ctx, done: make(chan struct{})}
+}
+
+// Done is closed when the task has a result.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Result blocks until the task completes and returns its outcome.
+func (t *Task) Result() Result {
+	<-t.done
+	return t.res
+}
+
+// complete delivers the task's result; later calls are no-ops, so a
+// worker finishing a task races safely with an Abort during shutdown.
+func (t *Task) complete(res Result) {
+	t.once.Do(func() {
+		t.res = res
+		close(t.done)
+	})
+}
+
+// Abort completes the task without running it, recording reason as the
+// failure. Used for tasks discarded by CloseNow: every submitter sees a
+// definite outcome, and because aborted jobs were never executed they
+// leave no cache entry — a resumed or resubmitted sweep runs them fresh.
+func (t *Task) Abort(reason string) {
+	j := t.Job
+	t.complete(Result{
+		ID: j.ID, Workload: j.Workload, Hash: j.Hash, Seed: j.Seed, Par: j.Par,
+		Err: reason,
+	})
+}
+
+// Queue is a bounded, priority-ordered task queue feeding Pool.Serve.
+// It is safe for concurrent pushers and poppers.
+type Queue struct {
+	mu     sync.Mutex
+	cap    int
+	n      int
+	closed bool
+	levels map[int][]*Task
+	prios  []int // present priorities, sorted descending
+	wait   chan struct{}
+}
+
+// NewQueue builds a queue holding at most capacity pending tasks;
+// capacity <= 0 means unbounded.
+func NewQueue(capacity int) *Queue {
+	return &Queue{cap: capacity, levels: make(map[int][]*Task)}
+}
+
+// Push admits tasks all-or-nothing: if the batch would overflow the
+// capacity, nothing is queued and ErrQueueFull is returned, so a grid
+// submission is never half-admitted.
+func (q *Queue) Push(tasks ...*Task) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.cap > 0 && q.n+len(tasks) > q.cap {
+		return ErrQueueFull
+	}
+	for _, t := range tasks {
+		if _, ok := q.levels[t.Priority]; !ok {
+			q.prios = append(q.prios, t.Priority)
+			sort.Sort(sort.Reverse(sort.IntSlice(q.prios)))
+		}
+		q.levels[t.Priority] = append(q.levels[t.Priority], t)
+	}
+	q.n += len(tasks)
+	q.broadcast()
+	return nil
+}
+
+// Pop returns the highest-priority pending task, blocking until one is
+// available, the queue closes (ErrQueueClosed once drained), or ctx ends.
+func (q *Queue) Pop(ctx context.Context) (*Task, error) {
+	for {
+		q.mu.Lock()
+		if t := q.popLocked(); t != nil {
+			q.mu.Unlock()
+			return t, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, ErrQueueClosed
+		}
+		wait := q.waitLocked()
+		q.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// popLocked removes and returns the next task, or nil when empty.
+func (q *Queue) popLocked() *Task {
+	for i, p := range q.prios {
+		level := q.levels[p]
+		if len(level) == 0 {
+			continue
+		}
+		t := level[0]
+		level[0] = nil
+		q.levels[p] = level[1:]
+		if len(q.levels[p]) == 0 {
+			delete(q.levels, p)
+			q.prios = append(q.prios[:i], q.prios[i+1:]...)
+		}
+		q.n--
+		return t
+	}
+	return nil
+}
+
+// waitLocked returns a channel closed at the next push or close.
+func (q *Queue) waitLocked() chan struct{} {
+	if q.wait == nil {
+		q.wait = make(chan struct{})
+	}
+	return q.wait
+}
+
+// broadcast wakes every blocked Pop.
+func (q *Queue) broadcast() {
+	if q.wait != nil {
+		close(q.wait)
+		q.wait = nil
+	}
+}
+
+// Close stops admissions; pending tasks still drain through Pop. Safe to
+// call more than once.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.broadcast()
+}
+
+// CloseNow closes the queue and discards its pending tasks, returning
+// them so the caller can Abort each one (the queue never completes tasks
+// itself). In-flight tasks — already popped by workers — are unaffected,
+// which is exactly the "drain in-flight, drop pending" shape of a
+// graceful daemon shutdown.
+func (q *Queue) CloseNow() []*Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	var pending []*Task
+	for _, p := range q.prios {
+		pending = append(pending, q.levels[p]...)
+	}
+	q.levels = make(map[int][]*Task)
+	q.prios = nil
+	q.n = 0
+	q.broadcast()
+	return pending
+}
+
+// Len returns the number of pending (not yet popped) tasks.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Cap returns the queue capacity (0 = unbounded).
+func (q *Queue) Cap() int { return q.cap }
+
+// Serve feeds the pool's workers from q until the queue is closed and
+// drained, or ctx is canceled. Each popped task runs with the same cache/
+// retry/timeout/reporter semantics as a batch job; a task's own context,
+// when set, is honored alongside ctx, so one submitter's cancellation
+// never stops the pool. Serve reports through the pool's Reporter as it
+// goes, and returns ctx's error when it ended the service.
+func (p *Pool) Serve(ctx context.Context, q *Queue) error {
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t, err := q.Pop(ctx)
+				if err != nil {
+					return
+				}
+				p.rep.submitted(1)
+				res := p.serveTask(ctx, t)
+				p.rep.done(&res)
+				t.complete(res)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// serveTask runs one task under the merge of the serve context and the
+// task's own.
+func (p *Pool) serveTask(ctx context.Context, t *Task) Result {
+	if t.Exec == nil {
+		return Result{
+			ID: t.Job.ID, Workload: t.Job.Workload, Hash: t.Job.Hash,
+			Seed: t.Job.Seed, Par: t.Job.Par,
+			Err: fmt.Sprintf("harness: task %s has no executor", t.Job.ID),
+		}
+	}
+	runCtx := ctx
+	if t.ctx != nil && t.ctx != ctx {
+		merged, cancel := context.WithCancel(t.ctx)
+		defer cancel()
+		stop := context.AfterFunc(ctx, cancel)
+		defer stop()
+		runCtx = merged
+	}
+	return p.runJob(runCtx, t.Job, t.Exec)
+}

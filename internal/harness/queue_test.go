@@ -1,0 +1,307 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uvmsim/internal/metrics"
+)
+
+// okExec is an executor returning fabricated deterministic stats.
+func okExec(_ context.Context, j Job) (*metrics.Stats, error) {
+	return statsFor(j), nil
+}
+
+// TestQueuePriorityAndFIFO pops tasks in priority order, FIFO within a
+// level, regardless of push interleaving.
+func TestQueuePriorityAndFIFO(t *testing.T) {
+	q := NewQueue(0)
+	push := func(id string, prio int) {
+		j := fakeJob(0)
+		j.ID = id
+		if err := q.Push(NewTask(nil, j, okExec, prio)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push("low-a", 0)
+	push("high-a", 5)
+	push("low-b", 0)
+	push("high-b", 5)
+	push("mid", 2)
+	want := []string{"high-a", "high-b", "mid", "low-a", "low-b"}
+	for _, id := range want {
+		task, err := q.Pop(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.Job.ID != id {
+			t.Fatalf("popped %q, want %q", task.Job.ID, id)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue holds %d tasks after draining", q.Len())
+	}
+}
+
+// TestQueuePushAllOrNothing rejects an overflowing batch without
+// admitting any of it.
+func TestQueuePushAllOrNothing(t *testing.T) {
+	q := NewQueue(2)
+	mk := func(i int) *Task { return NewTask(nil, fakeJob(i), okExec, 0) }
+	if err := q.Push(mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(mk(1), mk(2)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflowing batch: err = %v, want ErrQueueFull", err)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("failed batch leaked %d tasks into the queue", q.Len()-1)
+	}
+	if err := q.Push(mk(1)); err != nil {
+		t.Fatalf("queue refused a fitting task after a rejected batch: %v", err)
+	}
+}
+
+// TestQueueCloseDrains lets Pop drain pending tasks after Close, then
+// reports ErrQueueClosed; Push is refused immediately.
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue(0)
+	if err := q.Push(NewTask(nil, fakeJob(0), okExec, 0)); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if err := q.Push(NewTask(nil, fakeJob(1), okExec, 0)); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push after close: err = %v, want ErrQueueClosed", err)
+	}
+	if _, err := q.Pop(context.Background()); err != nil {
+		t.Fatalf("draining pop failed: %v", err)
+	}
+	if _, err := q.Pop(context.Background()); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("post-drain pop: err = %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestQueuePopHonorsContext unblocks a waiting Pop on cancellation.
+func TestQueuePopHonorsContext(t *testing.T) {
+	q := NewQueue(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Pop(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("pop returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pop did not observe cancellation")
+	}
+}
+
+// TestServeRunsQueuedTasks pushes a mix of priorities through Serve and
+// checks every task completes with its own executor's result.
+func TestServeRunsQueuedTasks(t *testing.T) {
+	q := NewQueue(0)
+	p := New(Options{Jobs: 4, Reporter: NewReporter(nil)})
+	const n = 20
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		tasks[i] = NewTask(nil, fakeJob(i), okExec, i%3)
+		if err := q.Push(tasks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Serve(context.Background(), q)
+	}()
+	for i, task := range tasks {
+		res := task.Result()
+		if res.Err != "" {
+			t.Fatalf("task %d failed: %s", i, res.Err)
+		}
+		if res.Stats == nil || res.Stats.Cycles != statsFor(task.Job).Cycles {
+			t.Fatalf("task %d got foreign stats", i)
+		}
+	}
+	q.Close()
+	wg.Wait()
+	if tot := p.Reporter().Totals(); tot.Done != n {
+		t.Fatalf("reporter counted %d done, want %d", tot.Done, n)
+	}
+}
+
+// TestServeSharesQueueAcrossExecutors runs tasks carrying different
+// executors through one pool — the multi-runner daemon shape.
+func TestServeSharesQueueAcrossExecutors(t *testing.T) {
+	q := NewQueue(0)
+	p := New(Options{Jobs: 2, Reporter: NewReporter(nil)})
+	mkExec := func(cycles uint64) Executor {
+		return func(_ context.Context, _ Job) (*metrics.Stats, error) {
+			return &metrics.Stats{Cycles: cycles}, nil
+		}
+	}
+	a := NewTask(nil, fakeJob(1), mkExec(111), 0)
+	b := NewTask(nil, fakeJob(2), mkExec(222), 0)
+	if err := q.Push(a, b); err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(context.Background(), q)
+	defer q.Close()
+	if got := a.Result().Stats.Cycles; got != 111 {
+		t.Fatalf("task a ran with the wrong executor: cycles = %d", got)
+	}
+	if got := b.Result().Stats.Cycles; got != 222 {
+		t.Fatalf("task b ran with the wrong executor: cycles = %d", got)
+	}
+}
+
+// TestServeTaskContextCancel cancels one task's own context: that task
+// fails promptly while the pool keeps serving others.
+func TestServeTaskContextCancel(t *testing.T) {
+	q := NewQueue(0)
+	p := New(Options{Jobs: 1, Reporter: NewReporter(nil)})
+	tctx, tcancel := context.WithCancel(context.Background())
+	blocked := NewTask(tctx, fakeJob(0), func(ctx context.Context, _ Job) (*metrics.Stats, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, 0)
+	after := NewTask(nil, fakeJob(1), okExec, 0)
+	if err := q.Push(blocked, after); err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(context.Background(), q)
+	defer q.Close()
+	tcancel()
+	if res := blocked.Result(); res.Err == "" {
+		t.Fatal("canceled task reported success")
+	}
+	if res := after.Result(); res.Err != "" {
+		t.Fatalf("pool stopped serving after one task's cancel: %s", res.Err)
+	}
+}
+
+// TestServeShutdownDrainsInFlight is the graceful-shutdown shape: pending
+// tasks are discarded (and aborted by the caller), the in-flight task
+// finishes and lands in the cache, and a resubmission of the dropped task
+// runs fresh while the finished one is served from the cache.
+func TestServeShutdownDrainsInFlight(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(0)
+	p := New(Options{Jobs: 1, Cache: cache, Reporter: NewReporter(nil)})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	slowExec := func(_ context.Context, j Job) (*metrics.Stats, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return statsFor(j), nil
+	}
+	inflight := NewTask(nil, fakeJob(0), slowExec, 0)
+	pending := NewTask(nil, fakeJob(1), slowExec, 0)
+	if err := q.Push(inflight, pending); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		p.Serve(context.Background(), q)
+		close(serveDone)
+	}()
+	<-started // the single worker holds the first task
+
+	dropped := q.CloseNow()
+	if len(dropped) != 1 || dropped[0] != pending {
+		t.Fatalf("CloseNow returned %d tasks, want just the pending one", len(dropped))
+	}
+	for _, task := range dropped {
+		task.Abort("shutting down")
+	}
+	if res := pending.Result(); res.Err != "shutting down" {
+		t.Fatalf("aborted task result = %q", res.Err)
+	}
+	close(release)
+	if res := inflight.Result(); res.Err != "" {
+		t.Fatalf("in-flight task failed during drain: %s", res.Err)
+	}
+	select {
+	case <-serveDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	if _, ok := cache.Get(inflight.Job.Key()); !ok {
+		t.Fatal("drained in-flight result missing from the cache")
+	}
+	if _, ok := cache.Get(pending.Job.Key()); ok {
+		t.Fatal("aborted task left a cache entry; a resumed sweep would skip it")
+	}
+}
+
+// TestServeTaskWithoutExecutorFails gives a definite outcome instead of
+// a nil-deref for a malformed task.
+func TestServeTaskWithoutExecutorFails(t *testing.T) {
+	q := NewQueue(0)
+	p := New(Options{Jobs: 1, Reporter: NewReporter(nil)})
+	task := NewTask(nil, fakeJob(0), nil, 0)
+	if err := q.Push(task); err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(context.Background(), q)
+	defer q.Close()
+	if res := task.Result(); res.Err == "" {
+		t.Fatal("executor-less task reported success")
+	}
+}
+
+// TestServeConcurrentPushersAndPriorities hammers the queue from many
+// goroutines under -race.
+func TestServeConcurrentPushersAndPriorities(t *testing.T) {
+	q := NewQueue(0)
+	p := New(Options{Jobs: 4, Reporter: NewReporter(nil)})
+	go p.Serve(context.Background(), q)
+	var ran atomic.Int32
+	exec := func(_ context.Context, j Job) (*metrics.Stats, error) {
+		ran.Add(1)
+		return statsFor(j), nil
+	}
+	const pushers, each = 8, 25
+	var wg sync.WaitGroup
+	tasks := make(chan *Task, pushers*each)
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j := fakeJob(g*each + i)
+				j.ID = fmt.Sprintf("p%d-%d", g, i)
+				task := NewTask(nil, j, exec, i%4)
+				if err := q.Push(task); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+				tasks <- task
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(tasks)
+	for task := range tasks {
+		task.Result()
+	}
+	q.Close()
+	if got := ran.Load(); got != pushers*each {
+		t.Fatalf("ran %d tasks, want %d", got, pushers*each)
+	}
+}
