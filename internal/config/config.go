@@ -219,6 +219,14 @@ type Config struct {
 	// context-switches on any full stall (not just page-fault stalls),
 	// reproducing Figure 5's "context switching in traditional GPUs".
 	TraditionalSwitch bool
+	// FixedEpochs disables the multi-domain engine's adaptive epoch
+	// widening (sim.System.SetAdaptive), pinning every epoch to the
+	// classic next+lookahead-1 horizon. Both modes are deterministic and
+	// byte-identical across worker counts, but they can merge same-cycle
+	// cross-domain ties in different orders, so results are comparable
+	// only within one mode. Debugging escape hatch; default false
+	// (adaptive on).
+	FixedEpochs bool
 }
 
 // Default returns the Table 1 configuration with the Baseline policy.

@@ -52,6 +52,7 @@ func NewMachine(cfg config.Config, w *trace.Workload) (*Machine, error) {
 		return nil, fmt.Errorf("core: workload %q has no kernels", w.Name)
 	}
 	sys := sim.NewSystem(cfg.DomainCount()+1, cfg.Lookahead())
+	sys.SetAdaptive(!cfg.FixedEpochs)
 	m := &Machine{
 		Sys:      sys,
 		Eng:      sys.Engine(cfg.DomainCount()), // hub is the last domain

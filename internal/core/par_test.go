@@ -87,6 +87,75 @@ func TestParallelismByteIdentity(t *testing.T) {
 	}
 }
 
+// TestFixedEpochsByteIdentity covers the adaptive-widening escape hatch:
+// with Config.FixedEpochs the machine pins every epoch to the classic
+// lookahead horizon, and worker-count byte-identity must hold there just
+// as it does in the adaptive default. (The two modes are distinct result
+// universes — same-cycle cross-domain ties can merge in different epochs
+// — so their summaries are not compared to each other.)
+func TestFixedEpochsByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations in -short mode")
+	}
+	p := parParams()
+	cfg := config.Default()
+	cfg.MaxCycles = 2_000_000_000
+	cfg.FixedEpochs = true
+	var ref string
+	for _, par := range []int{1, 4} {
+		w, err := workload.Build("BFS-TTC", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := RunParallel(cfg, w, par)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		got := summaryJSON(t, stats)
+		if par == 1 {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Errorf("FixedEpochs par=%d summary diverged from par=1\npar=1: %s\npar=%d: %s", par, ref, par, got)
+		}
+	}
+}
+
+// TestAdaptiveEpochsReduceBarriers pins the point of adaptive widening:
+// on a real faulting workload the adaptive schedule must cross strictly
+// fewer epoch barriers than the fixed-lookahead schedule (measured ~46%
+// fewer on BFS at Table-1 scale), while simulating the same span. This is
+// the tentpole regression guard for epoch overhead: if a change quietly
+// degrades the horizon rules back to one-lookahead steps, the counts
+// converge and this fails.
+func TestAdaptiveEpochsReduceBarriers(t *testing.T) {
+	run := func(fixed bool) (epochs, dispatched uint64) {
+		cfg := testConfig(config.Baseline)
+		cfg.GPU.SMsPerDomain = 1 // 4 shard domains on the 4-SM test config
+		cfg.FixedEpochs = fixed
+		m, err := NewMachine(cfg, scanWorkload(64, 8, 64, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Sys.Epochs(), m.Sys.Dispatched()
+	}
+	fixedEpochs, fixedDispatched := run(true)
+	adaptiveEpochs, adaptiveDispatched := run(false)
+	if adaptiveEpochs >= fixedEpochs {
+		t.Errorf("adaptive epochs = %d, fixed = %d: widening bought nothing", adaptiveEpochs, fixedEpochs)
+	}
+	// Both modes execute the same simulation work; only barrier placement
+	// (and with it same-cycle cross-domain tie order) may differ.
+	if adaptiveDispatched != fixedDispatched {
+		t.Logf("dispatched: adaptive=%d fixed=%d (tie-order divergence, informational)",
+			adaptiveDispatched, fixedDispatched)
+	}
+}
+
 // TestEffectiveWorkersFallback pins the graceful-degradation rules: the
 // machine silently runs inline when parallelism is not requested, not
 // profitable (one domain, sub-threshold lookahead), or not supported

@@ -28,7 +28,7 @@ import (
 // simulation semantics change (new mechanisms, timing fixes), so cache
 // entries written by an older simulator are never mistaken for current
 // results.
-const resultsVersion = 3 // v3: multi-domain engine retimes cross-domain hops (fault wake, L2/walker handoff)
+const resultsVersion = 4 // v4: adaptive epoch widening reorders same-cycle cross-domain ties vs v3's fixed epochs
 
 // Table is a rendered experiment result.
 type Table struct {
@@ -399,7 +399,14 @@ func (r *Runner) simExecutor(ctx context.Context, j harness.Job) (*metrics.Stats
 	key := j.Workload + "|" + j.Hash
 	path := harness.TracePath(ctx)
 	if path == "" {
-		par := j.Par
+		// Execution parallelism is the pool's budget-capped value, not
+		// j.Par: the job's Par names the simulation for its cache key,
+		// while RunPar keeps small hosts from oversubscribing. Identical
+		// results either way.
+		par := harness.RunPar(ctx)
+		if par == 0 {
+			par = j.Par
+		}
 		if par == 0 {
 			par = r.Par // pool without Par set: fall back to the runner's
 		}

@@ -156,6 +156,14 @@ type Cluster struct {
 	// while the per-shard counters are still unmerged.
 	faultsSeen uint64
 
+	// faultFrom maps each in-flight faulting page to the bitmask of shard
+	// domains that demand-faulted on it, so PageArrived wakes only shards
+	// that registered waiters — prefetch and runahead pages (no recorded
+	// faulter) arrive without generating any wake traffic at all. Hub-owned;
+	// nil when the cluster has more than 64 shards, falling back to
+	// broadcast wakes.
+	faulters map[uint64]uint64
+
 	// Prebound hub-side receive callbacks.
 	blockDoneFn func(uint64)
 	runaheadFn  func(uint64)
@@ -198,6 +206,9 @@ func New(sys *sim.System, cfg *config.Config, stats *metrics.Stats, pt *vm.PageT
 	}
 	if cfg.UVM.TrackDirty {
 		c.dirty = make(map[uint64]struct{})
+	}
+	if nd <= 64 {
+		c.faulters = make(map[uint64]uint64)
 	}
 	c.enabledSM = make([]bool, g.NumSMs)
 	c.blockDoneFn = func(uint64) { c.blockDoneAtHub() }
@@ -747,6 +758,9 @@ func (c *Cluster) faultFrom(s *shard, page uint64) {
 		c.sys.SendArg(c.hub, s.dom, c.eng.Now()+c.la, s.pageArrivedFn, page)
 		return
 	}
+	if c.faulters != nil {
+		c.faulters[page] |= 1 << uint(s.dom)
+	}
 	c.sink.RaiseFault(page)
 }
 
@@ -880,8 +894,27 @@ func (c *Cluster) dramQueueDelay() uint64 {
 
 // PageArrived tells the GPU a page migration completed: warps waiting on
 // the page wake (one hop later), replaying their faulted access once all
-// their pages are in. Hub-side, called by the UVM runtime.
+// their pages are in. Hub-side, called by the UVM runtime. Wakes go only
+// to the shards whose demand faults were recorded for the page (ascending
+// domain order, so message traffic is deterministic); pages pulled in by
+// prefetch or runahead have no recorded faulter and no shard to wake, so
+// they cost no messages. Shards whose fault message is still in flight
+// when the page lands are woken by faultFrom's resident branch instead.
 func (c *Cluster) PageArrived(page uint64) {
+	if c.faulters != nil {
+		mask, ok := c.faulters[page]
+		if !ok {
+			return
+		}
+		delete(c.faulters, page)
+		now := c.eng.Now()
+		for _, s := range c.shards {
+			if mask&(1<<uint(s.dom)) != 0 {
+				c.sys.SendArg(c.hub, s.dom, now+c.la, s.pageArrivedFn, page)
+			}
+		}
+		return
+	}
 	now := c.eng.Now()
 	for _, s := range c.shards {
 		c.sys.SendArg(c.hub, s.dom, now+c.la, s.pageArrivedFn, page)

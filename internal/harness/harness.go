@@ -71,7 +71,8 @@ type Options struct {
 // accumulates totals across all of them.
 type Pool struct {
 	workers    int
-	par        int
+	par        int // requested per-job parallelism: stamped into keys
+	parCap     int // host budget: what actually executes (see RunPar)
 	timeout    time.Duration
 	retries    int
 	cache      *Cache
@@ -80,7 +81,14 @@ type Pool struct {
 	traceKeyed bool
 }
 
-// New builds a pool from opts.
+// New builds a pool from opts. The requested Par is normalized (>= 1) but
+// never trimmed to the host: it names the simulation the caller asked
+// for and goes into cache keys verbatim, so the same submission hashes
+// identically on every host. The goroutine budget split happens at
+// execution time instead — each job runs with min(Par, GOMAXPROCS/jobs)
+// workers (jobs keep priority), delivered to executors via RunPar.
+// Results are byte-identical either way, so capping execution while
+// keying by request is sound.
 func New(opts Options) *Pool {
 	workers := opts.Jobs
 	if workers <= 0 {
@@ -90,11 +98,9 @@ func New(opts Options) *Pool {
 	if par < 1 {
 		par = 1
 	}
-	if budget := runtime.GOMAXPROCS(0); workers*par > budget {
-		par = budget / workers
-		if par < 1 {
-			par = 1
-		}
+	parCap := runtime.GOMAXPROCS(0) / workers
+	if parCap < 1 {
+		parCap = 1
 	}
 	retries := opts.Retries
 	if retries < 0 {
@@ -108,6 +114,7 @@ func New(opts Options) *Pool {
 	return &Pool{
 		workers:    workers,
 		par:        par,
+		parCap:     parCap,
 		timeout:    opts.Timeout,
 		retries:    retries,
 		cache:      opts.Cache,
@@ -120,9 +127,15 @@ func New(opts Options) *Pool {
 // Workers returns the pool width.
 func (p *Pool) Workers() int { return p.workers }
 
-// Par returns the per-job intra-run parallelism after the goroutine
-// budget split.
+// Par returns the requested per-job intra-run parallelism (normalized to
+// >= 1, but not trimmed to the host's core budget — this is the value
+// stamped into cache keys; see RunPar for what actually executes).
 func (p *Pool) Par() int { return p.par }
+
+// ParCap returns the per-job goroutine budget: GOMAXPROCS split across
+// the pool's workers (jobs keep priority), never below 1. Execution-time
+// parallelism for any job is min(Job.Par, ParCap).
+func (p *Pool) ParCap() int { return p.parCap }
 
 // Reporter returns the pool's progress reporter.
 func (p *Pool) Reporter() *Reporter { return p.rep }
@@ -185,6 +198,14 @@ func (p *Pool) runJob(ctx context.Context, j Job, exec Executor) Result {
 	if j.Par == 0 {
 		j.Par = p.par // stamp before the cache lookup: Par is in the key
 	}
+	// The key carries the requested Par; the host budget caps only what
+	// executes. Byte-identity across worker counts is what makes the two
+	// safely distinct.
+	runPar := j.Par
+	if runPar > p.parCap {
+		runPar = p.parCap
+	}
+	ctx = withRunPar(ctx, runPar)
 	if p.cache != nil && !j.NoCache {
 		if res, ok := p.cache.Get(j.Key()); ok {
 			res.ID = j.ID // display label of this sweep, not the writing one

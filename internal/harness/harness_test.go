@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -351,30 +352,38 @@ func TestHashPartsSensitivity(t *testing.T) {
 	}
 }
 
-// TestPoolParBudgetSplit pins the goroutine-budget rule: when -jobs times
-// intra-run -par oversubscribes GOMAXPROCS, the pool trims Par (never
-// Jobs) so the product fits, and Par never drops below 1.
+// TestPoolParBudgetSplit pins the goroutine-budget rule: the requested Par
+// survives normalization untrimmed (it names the simulation and goes into
+// cache keys), while ParCap — GOMAXPROCS split across the job workers,
+// jobs keeping priority — bounds what executes, never dropping below 1.
 func TestPoolParBudgetSplit(t *testing.T) {
 	maxprocs := runtime.GOMAXPROCS(0)
 	cases := []struct {
 		jobs, par int
-		want      int
+		wantPar   int
 	}{
-		{1, 0, 1},                         // unset: sequential
-		{1, maxprocs, maxprocs},           // exactly the budget: kept
-		{1, maxprocs * 4, maxprocs},       // oversubscribed: trimmed to fit
-		{maxprocs, 8, 1},                  // pool already saturates: par floors at 1
-		{maxprocs * 2, 2, 1},              // even an oversubscribed pool keeps par >= 1
-		{maxprocs / 2, 2, budgetPar(maxprocs/2, 2, maxprocs)}, // half the cores each way
+		{1, 0, 1},                   // unset: sequential
+		{1, maxprocs, maxprocs},     // exactly the budget
+		{1, maxprocs * 4, maxprocs * 4}, // oversubscribed: request kept, cap absorbs it
+		{maxprocs, 8, 8},            // pool already saturates: cap floors at 1
+		{maxprocs * 2, 2, 2},        // even an oversubscribed pool keeps cap >= 1
 	}
 	for _, tc := range cases {
 		if tc.jobs < 1 {
 			continue // degenerate on single-core runners
 		}
 		p := New(Options{Jobs: tc.jobs, Par: tc.par})
-		if got := p.Par(); got != tc.want {
-			t.Errorf("New(Jobs:%d, Par:%d) with GOMAXPROCS=%d: Par() = %d, want %d",
-				tc.jobs, tc.par, maxprocs, got, tc.want)
+		if got := p.Par(); got != tc.wantPar {
+			t.Errorf("New(Jobs:%d, Par:%d): Par() = %d, want the requested value %d",
+				tc.jobs, tc.par, got, tc.wantPar)
+		}
+		wantCap := maxprocs / tc.jobs
+		if wantCap < 1 {
+			wantCap = 1
+		}
+		if got := p.ParCap(); got != wantCap {
+			t.Errorf("New(Jobs:%d, Par:%d) with GOMAXPROCS=%d: ParCap() = %d, want %d",
+				tc.jobs, tc.par, maxprocs, got, wantCap)
 		}
 		if p.Workers() != tc.jobs {
 			t.Errorf("New(Jobs:%d, Par:%d): Workers() = %d, job width must keep priority",
@@ -383,22 +392,67 @@ func TestPoolParBudgetSplit(t *testing.T) {
 	}
 }
 
-// budgetPar mirrors the clamp for the one table entry that depends on the
-// runner's core count.
-func budgetPar(jobs, par, budget int) int {
-	if jobs*par > budget {
-		par = budget / jobs
+// TestPoolParKeyStableUnderTrimming pins the cross-host key contract the
+// sweepd single-flight relies on: a pool whose requested Par exceeds the
+// host's goroutine budget still stamps the *requested* Par into job keys
+// (identical on every host), while executors observe the budget-capped
+// parallelism via RunPar — for stamped and preset jobs alike.
+func TestPoolParKeyStableUnderTrimming(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	req := maxprocs*4 + 1 // guaranteed above any host budget
+	p := New(Options{Jobs: 2, Par: req})
+	if got := p.Par(); got != req {
+		t.Fatalf("Par() = %d, want requested %d — keys must not depend on GOMAXPROCS", got, req)
 	}
-	if par < 1 {
-		par = 1
+	wantCap := maxprocs / 2
+	if wantCap < 1 {
+		wantCap = 1
 	}
-	return par
+	if got := p.ParCap(); got != wantCap {
+		t.Fatalf("ParCap() = %d, want %d", got, wantCap)
+	}
+
+	type seen struct{ jobPar, runPar int }
+	got := make(map[string]seen)
+	var mu sync.Mutex
+	exec := func(ctx context.Context, j Job) (*metrics.Stats, error) {
+		mu.Lock()
+		got[j.ID] = seen{j.Par, RunPar(ctx)}
+		mu.Unlock()
+		return statsFor(j), nil
+	}
+	stamped := fakeJob(0)
+	stamped.ID = "stamped"
+	preset := fakeJob(1)
+	preset.ID = "preset"
+	preset.Par = maxprocs*8 + 1 // driver-set, even larger than the pool's
+	results, err := p.Run(context.Background(), []Job{stamped, preset}, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := got["stamped"]; s.jobPar != req || s.runPar != wantCap {
+		t.Errorf("stamped job saw (Par=%d, RunPar=%d), want (%d, %d)", s.jobPar, s.runPar, req, wantCap)
+	}
+	if s := got["preset"]; s.jobPar != preset.Par || s.runPar != wantCap {
+		t.Errorf("preset job saw (Par=%d, RunPar=%d), want (%d, %d): preset Par must be capped at execution too",
+			s.jobPar, s.runPar, preset.Par, wantCap)
+	}
+	// The result records the key-forming Par, not the host cap.
+	if results[0].Par != req {
+		t.Errorf("stamped result Par = %d, want requested %d", results[0].Par, req)
+	}
+	wantKey := fmt.Sprintf("%s|%s|%d|par%d", stamped.Workload, stamped.Hash, stamped.Seed, req)
+	j := stamped
+	j.Par = req
+	if j.Key() != wantKey {
+		t.Errorf("trimmed-pool job key = %q, want %q (requested Par, host-independent)", j.Key(), wantKey)
+	}
 }
 
 // TestPoolParInCacheKey pins the cache-entry separation contract: a job
 // run at one parallelism never serves a hit for the same job at another.
-// Jobs that leave Par unset are stamped with the pool's (budget-trimmed)
-// value before the cache lookup; jobs that preset Par keep it.
+// Jobs that leave Par unset are stamped with the pool's requested value
+// before the cache lookup; jobs that preset Par keep it.
 func TestPoolParInCacheKey(t *testing.T) {
 	j := fakeJob(0)
 	seq, par2, par4 := j, j, j

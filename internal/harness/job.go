@@ -32,11 +32,13 @@ type Job struct {
 	// NoCache exempts the job from the result cache (used for jobs whose
 	// value is a side effect, like pre-building a workload's traces).
 	NoCache bool
-	// Par is the intra-run parallelism the executor should use; 0 lets
-	// the pool stamp its own (see Options.Par). Part of the cache key:
-	// parallel and sequential runs are byte-identical by construction,
-	// but never sharing entries keeps any engine divergence diagnosable
-	// from cached sweeps instead of silently laundered through them.
+	// Par is the *requested* intra-run parallelism; 0 lets the pool stamp
+	// its own (see Options.Par). Part of the cache key: parallel and
+	// sequential runs are byte-identical by construction, but never
+	// sharing entries keeps any engine divergence diagnosable from cached
+	// sweeps instead of silently laundered through them. Execution uses
+	// the budget-capped min(Par, Pool.ParCap) — delivered via RunPar — so
+	// the key, unlike the goroutine count, is host-independent.
 	Par int
 }
 

@@ -274,6 +274,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty grid")
 		return
 	}
+	// Pool.Par is the *requested* parallelism (never trimmed to this
+	// host's cores), so the stamped keys — and therefore single-flight
+	// joins and store hits — are identical across hosts; the pool caps
+	// what actually executes (harness.RunPar).
 	par := req.Par
 	if par <= 0 {
 		par = s.pool.Par()

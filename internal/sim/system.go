@@ -3,19 +3,30 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // System is a conservative, lookahead-bounded parallel discrete-event
 // scheduler over a fixed set of synchronization domains, each with its own
 // Engine. Cross-domain events go through Send/SendArg into per-edge
-// mailboxes; the system executes epochs of width `lookahead` (the minimum
-// cross-domain latency) and merges mailboxes at epoch barriers in the fixed
-// total order (cycle, source domain, source sequence). Because every
-// cross-domain delivery lands strictly after the epoch that produced it,
-// domains can execute an epoch concurrently without ever observing each
-// other mid-epoch — and because the merge order is a pure function of the
-// per-domain event streams, results are byte-identical at any worker
-// count, including fully inline execution (workers <= 1).
+// mailboxes; the system executes epochs and merges mailboxes at epoch
+// barriers in the fixed total order (cycle, source domain, source
+// sequence). Because every cross-domain delivery lands strictly after the
+// epoch that produced it, domains can execute an epoch concurrently
+// without ever observing each other mid-epoch — and because the merge
+// order is a pure function of the per-domain event streams, results are
+// byte-identical at any worker count, including fully inline execution
+// (workers <= 1).
+//
+// Epoch widths are adaptive by default (see SetAdaptive): the earliest
+// domain may run past the `lookahead` horizon up to the second-earliest
+// domain's lookahead bound, and a domain that is alone in having pending
+// events runs until its own outgoing sends could first provoke a reply.
+// Both rules are conservative — no domain ever executes an event a
+// not-yet-merged message could precede — so determinism across worker
+// counts is unaffected. Adaptive and fixed scheduling can, however, merge
+// same-cycle ties from different sources in different epochs, so the two
+// modes are distinct result universes; pick one per experiment series.
 //
 // The contract components must follow:
 //
@@ -29,20 +40,68 @@ import (
 // receiving domain, as long as the sender stops touching it once sent.
 type System struct {
 	lookahead Cycle
+	adaptive  bool
 	engines   []*Engine
-	boxes     [][][]msg // [src][dst] mailbox, appended in src execution order
-	merge     []msg     // per-destination flush scratch, reused across epochs
-	active    []int     // engines participating in the current epoch
+
+	// Mailboxes are per-edge chunks: boxes[src*n+dst] is appended in src
+	// execution order, and outDirty[src] lists the destinations src has
+	// pending mail for (each recorded once, on the edge's empty->nonempty
+	// transition). Each src row is written only by the goroutine executing
+	// that domain's epoch, so the tracking is race-free.
+	boxes    [][]msg
+	outDirty [][]int32
+
+	// minOut[src] is the earliest delivery cycle among src's sends in the
+	// current epoch; the adaptively-widened domain bounds its own
+	// execution at minOut+lookahead-1 (see runBounded).
+	minOut []Cycle
+
+	// The active set: domains with pending events, maintained
+	// incrementally (flush activates delivery targets, the epoch loop
+	// retires drained engines) so per-epoch work is O(active), not
+	// O(domains).
+	active    []int32
+	activePos []int32 // domain -> index in active, -1 if inactive
+
+	// Per-epoch schedule, written by the coordinator before dispatch.
+	epochRun []int32 // domains executing this epoch
+	epochHi  []Cycle // per-domain horizon (inclusive)
+	bounded  int32   // domain running under the own-send bound, or -1
+
+	// Flush scratch, reused across barriers.
+	flushSrcs [][]int32 // per dst: sources with mail, ascending
+	flushDsts []int32
+	mergePos  []int
 
 	workers int // requested worker goroutines; <2 means inline execution
 
-	// Worker pool, started lazily at the first multi-domain epoch.
-	pool struct {
-		started bool
-		work    chan int
-		wg      sync.WaitGroup
-		hi      Cycle // epoch horizon (inclusive), set before dispatch
-	}
+	epochs uint64 // barriers executed; the overhead diagnostic
+
+	pool pool
+}
+
+// Worker-pool lifecycle states. The pool starts lazily at the first
+// parallel epoch; Stop shuts it down and pins the system to inline
+// execution until SetWorkers re-arms it.
+const (
+	poolNew     = iota // no goroutines yet; first parallel epoch starts them
+	poolRunning        // persistent workers live
+	poolStopped        // shut down; epochs run inline until SetWorkers
+)
+
+// pool is the persistent epoch-worker machinery: one goroutine per
+// worker, each with its own run queue of domains, signaled once per
+// epoch. The per-worker ready channels and the shared done channel carry
+// the happens-before edges between the coordinator's schedule writes,
+// the workers' engine execution, and the barrier merge.
+type pool struct {
+	state   int
+	width   int // goroutines started (workers at start time)
+	ready   []chan struct{}
+	queues  [][]int32
+	pending atomic.Int32
+	done    chan struct{}
+	wg      sync.WaitGroup
 }
 
 // msg is one buffered cross-domain event.
@@ -58,7 +117,10 @@ type msg struct {
 // should fall back to inline execution.
 const MinLookahead = 4
 
+const maxCycle = ^Cycle(0)
+
 // NewSystem builds a system of n domains with the given lookahead.
+// Adaptive epoch widening starts enabled; see SetAdaptive.
 func NewSystem(n int, lookahead Cycle) *System {
 	if n < 1 {
 		panic(fmt.Sprintf("sim: system needs at least one domain, got %d", n))
@@ -66,12 +128,17 @@ func NewSystem(n int, lookahead Cycle) *System {
 	if lookahead < 1 {
 		panic(fmt.Sprintf("sim: lookahead %d < 1", lookahead))
 	}
-	s := &System{lookahead: lookahead, workers: 1}
+	s := &System{lookahead: lookahead, adaptive: true, workers: 1, bounded: -1}
 	s.engines = make([]*Engine, n)
-	s.boxes = make([][][]msg, n)
+	s.boxes = make([][]msg, n*n)
+	s.outDirty = make([][]int32, n)
+	s.minOut = make([]Cycle, n)
+	s.activePos = make([]int32, n)
+	s.epochHi = make([]Cycle, n)
+	s.flushSrcs = make([][]int32, n)
 	for i := range s.engines {
 		s.engines[i] = NewEngine()
-		s.boxes[i] = make([][]msg, n)
+		s.activePos[i] = -1
 	}
 	return s
 }
@@ -83,17 +150,31 @@ func (s *System) Engine(i int) *Engine { return s.engines[i] }
 // Domains returns the number of domains.
 func (s *System) Domains() int { return len(s.engines) }
 
-// Lookahead returns the epoch width.
+// Lookahead returns the minimum cross-domain latency (the lower bound on
+// epoch width; adaptive epochs may be wider).
 func (s *System) Lookahead() Cycle { return s.lookahead }
+
+// SetAdaptive enables or disables adaptive epoch widening. Both modes are
+// conservative and byte-identical across worker counts, but they can
+// merge same-cycle ties from different source domains in different
+// epochs, so results are comparable only within one mode. Call before
+// running.
+func (s *System) SetAdaptive(on bool) { s.adaptive = on }
+
+// Adaptive reports whether adaptive epoch widening is enabled.
+func (s *System) Adaptive() bool { return s.adaptive }
 
 // SetWorkers sets the number of goroutines that execute epochs. Values
 // below 2 select inline execution on the caller's goroutine; results are
-// identical either way. Call before running; changing workers mid-run is
-// not supported.
+// identical either way. Callable before running and again after Stop —
+// re-arming a stopped pool restarts it cleanly at the new width on the
+// next parallel epoch. Changing workers while the pool is running is not
+// supported; Stop first.
 func (s *System) SetWorkers(n int) {
-	if s.pool.started {
-		panic("sim: SetWorkers after the worker pool started")
+	if s.pool.state == poolRunning {
+		panic("sim: SetWorkers while the worker pool is running; Stop first")
 	}
+	s.pool.state = poolNew
 	if n < 1 {
 		n = 1
 	}
@@ -115,6 +196,19 @@ func (s *System) checkSend(src int, when Cycle) {
 	}
 }
 
+// post appends one message to the src->dst mailbox, maintaining the
+// dirty-edge list and the sender's earliest-outgoing-delivery watermark.
+func (s *System) post(src, dst int, m msg) {
+	box := src*len(s.engines) + dst
+	if len(s.boxes[box]) == 0 {
+		s.outDirty[src] = append(s.outDirty[src], int32(dst))
+	}
+	s.boxes[box] = append(s.boxes[box], m)
+	if m.when < s.minOut[src] {
+		s.minOut[src] = m.when
+	}
+}
+
 // Send schedules fn on domain dst at absolute cycle when. The delivery
 // must respect the lookahead: when >= sender's now + lookahead.
 func (s *System) Send(src, dst int, when Cycle, fn func()) {
@@ -123,7 +217,7 @@ func (s *System) Send(src, dst int, when Cycle, fn func()) {
 		return
 	}
 	s.checkSend(src, when)
-	s.boxes[src][dst] = append(s.boxes[src][dst], msg{when: when, fn: fn})
+	s.post(src, dst, msg{when: when, fn: fn})
 }
 
 // SendArg schedules argFn(arg) on domain dst at absolute cycle when; the
@@ -134,69 +228,184 @@ func (s *System) SendArg(src, dst int, when Cycle, argFn func(uint64), arg uint6
 		return
 	}
 	s.checkSend(src, when)
-	s.boxes[src][dst] = append(s.boxes[src][dst], msg{when: when, argFn: argFn, arg: arg})
+	s.post(src, dst, msg{when: when, argFn: argFn, arg: arg})
 }
 
-// nextEventTime returns the earliest pending event across all domains.
-// Mailboxes are always empty between epochs, so engine heads are the whole
-// story.
-func (s *System) nextEventTime() (Cycle, bool) {
-	var best Cycle
-	found := false
-	for _, e := range s.engines {
-		if t, ok := e.NextTime(); ok && (!found || t < best) {
-			best, found = t, true
+// activate adds domain d to the active set (no-op if present).
+func (s *System) activate(d int32) {
+	if s.activePos[d] < 0 {
+		s.activePos[d] = int32(len(s.active))
+		s.active = append(s.active, d)
+	}
+}
+
+// deactivate removes domain d from the active set by swap-delete.
+func (s *System) deactivate(d int32) {
+	i := s.activePos[d]
+	if i < 0 {
+		return
+	}
+	last := s.active[len(s.active)-1]
+	s.active[i] = last
+	s.activePos[last] = i
+	s.active = s.active[:len(s.active)-1]
+	s.activePos[d] = -1
+}
+
+// rebuildActive rescans every engine. Called once per RunUntil entry to
+// pick up events scheduled directly on engines while the system was
+// quiescent (construction-time wiring, test setup between runs); inside
+// the epoch loop the set is maintained incrementally.
+func (s *System) rebuildActive() {
+	s.active = s.active[:0]
+	for i, e := range s.engines {
+		if _, ok := e.NextTime(); ok {
+			s.activePos[i] = int32(len(s.active))
+			s.active = append(s.active, int32(i))
+		} else {
+			s.activePos[i] = -1
 		}
 	}
-	return best, found
+}
+
+// satHorizon returns min(base+lookahead-1, limit), saturating on
+// overflow.
+func (s *System) satHorizon(base, limit Cycle) Cycle {
+	hi := base + s.lookahead - 1
+	if hi < base { // overflow
+		hi = maxCycle
+	}
+	if hi > limit {
+		hi = limit
+	}
+	return hi
 }
 
 // RunUntil executes epochs until every queue is empty or the next event
 // lies past limit. Events scheduled exactly at the limit are dispatched.
 // It reports whether all queues were drained.
 func (s *System) RunUntil(limit Cycle) bool {
-	// Deliver sends made while the system was quiescent (construction-time
-	// wiring, test setup between runs): epochs only flush their own sends,
-	// and nextEventTime must see these as engine events to pick the right
-	// first epoch.
+	// Deliver sends made while the system was quiescent: epochs only
+	// flush their own sends, and the schedule below must see these as
+	// engine events to pick the right first epoch.
 	s.flush()
-	for {
-		next, ok := s.nextEventTime()
-		if !ok {
-			return true
-		}
-		if next > limit {
-			return false
-		}
-		// The epoch covers [next, next+lookahead), clamped to the limit.
-		// Every cross-domain send from inside it delivers at or after
-		// sender.now + lookahead >= next + lookahead, so deliveries always
-		// land in a later epoch and the merge at the barrier is safe.
-		hi := limit // inclusive horizon
-		if h := next + s.lookahead - 1; h < hi {
-			hi = h
-		}
-		s.active = s.active[:0]
-		for i, e := range s.engines {
-			if t, ok := e.NextTime(); ok && t <= hi {
-				s.active = append(s.active, i)
+	s.rebuildActive()
+	for len(s.active) > 0 {
+		// min1/min2: the two earliest next-event times across active
+		// domains; arg is min1's domain. O(active) — inactive domains
+		// cannot act (nothing queued, and mail only lands at barriers).
+		min1, min2 := maxCycle, maxCycle
+		arg := int32(-1)
+		for _, d := range s.active {
+			t, _ := s.engines[d].NextTime()
+			if t < min1 {
+				min1, min2, arg = t, min1, d
+			} else if t < min2 {
+				min2 = t
 			}
 		}
-		if s.workers > 1 && len(s.active) > 1 {
-			s.runEpochParallel(hi)
+		if min1 > limit {
+			return false
+		}
+		// Conservative horizons. Every cross-domain send from a domain
+		// whose first event is at t delivers at or after t+lookahead, so:
+		//
+		//   - any domain may run to min1+lookahead-1 (the classic epoch);
+		//   - the earliest domain may run to min2+lookahead-1 — messages
+		//     to it can only come from domains whose sends deliver at or
+		//     after min2+lookahead;
+		//   - when no other domain has anything queued (min2 = ∞), the
+		//     earliest domain is bounded only by its own sends: a message
+		//     it delivers at d can provoke a reply no earlier than
+		//     d+lookahead, so it stops before dispatching any event at or
+		//     past minOut+lookahead (runBounded).
+		//
+		// Deliveries therefore always land strictly after their
+		// destination's horizon, at every width the rules admit.
+		hiDefault := s.satHorizon(min1, limit)
+		hiArg := hiDefault
+		s.bounded = -1
+		if s.adaptive {
+			if min2 == maxCycle {
+				hiArg = limit
+			} else {
+				hiArg = s.satHorizon(min2, limit)
+			}
+			s.bounded = arg
+		}
+		s.epochRun = s.epochRun[:0]
+		for _, d := range s.active {
+			hi := hiDefault
+			if d == arg {
+				hi = hiArg
+			}
+			if t, _ := s.engines[d].NextTime(); t <= hi {
+				s.epochHi[d] = hi
+				s.epochRun = append(s.epochRun, d)
+			}
+		}
+		s.epochs++
+		if s.workers > 1 && len(s.epochRun) > 1 && s.pool.state != poolStopped {
+			s.runEpochParallel()
 		} else {
-			for _, i := range s.active {
-				s.engines[i].RunUntil(hi)
+			for _, d := range s.epochRun {
+				s.runDomain(d)
+			}
+		}
+		for _, d := range s.epochRun {
+			if s.engines[d].Pending() == 0 {
+				s.deactivate(d)
 			}
 		}
 		s.flush()
 	}
+	return true
+}
+
+// runDomain executes one domain's share of the current epoch.
+func (s *System) runDomain(d int32) {
+	if d == s.bounded {
+		s.runBounded(d, s.epochHi[d])
+	} else {
+		s.engines[d].RunUntil(s.epochHi[d])
+	}
+}
+
+// runBounded runs domain d to hi under the own-send bound: once the
+// domain has sent a message delivering at minOut, it must not dispatch
+// any event at or past minOut+lookahead — the earliest cycle a reply
+// provoked by that message could arrive.
+func (s *System) runBounded(d int32, hi Cycle) {
+	e := s.engines[int(d)]
+	s.minOut[d] = maxCycle
+	for {
+		t, ok := e.NextTime()
+		if !ok || t > hi {
+			return
+		}
+		if mo := s.minOut[d]; mo != maxCycle {
+			bnd := mo + s.lookahead
+			if bnd < mo { // overflow
+				bnd = maxCycle
+			}
+			if t >= bnd {
+				return
+			}
+		}
+		e.Step()
+	}
 }
 
 // Run executes epochs until every queue is empty and returns the latest
-// domain clock.
+// domain clock. Running out of representable time with events still
+// queued always indicates a modeling bug (events scheduled within one
+// lookahead of the cycle-counter maximum), so it panics rather than
+// silently dropping them; use RunUntil to observe the drained flag.
 func (s *System) Run() Cycle {
-	s.RunUntil(^Cycle(0) - s.lookahead)
+	horizon := maxCycle - s.lookahead
+	if !s.RunUntil(horizon) {
+		panic(fmt.Sprintf("sim: Run stopped with %d events still queued past cycle %d", s.Pending(), horizon))
+	}
 	return s.Now()
 }
 
@@ -221,6 +430,10 @@ func (s *System) Pending() int {
 	return n
 }
 
+// Epochs returns the number of epoch barriers executed — the per-run
+// overhead diagnostic adaptive widening exists to shrink.
+func (s *System) Epochs() uint64 { return s.epochs }
+
 // Dispatched returns the total events dispatched across domains.
 func (s *System) Dispatched() uint64 {
 	var n uint64
@@ -230,87 +443,180 @@ func (s *System) Dispatched() uint64 {
 	return n
 }
 
-// runEpochParallel executes the active engines on the worker pool. Each
-// worker runs whole engines, so a domain's mailbox rows are written by
-// exactly one goroutine per epoch; the channel handoff and WaitGroup give
+// runEpochParallel executes the epoch's domains on the persistent worker
+// pool: the schedule (epochRun, epochHi, bounded) is partitioned into
+// per-worker run queues, each participating worker is signaled once, and
+// the last to finish releases the barrier. Each worker runs whole
+// engines, so a domain's mailbox rows are written by exactly one
+// goroutine per epoch; the ready-channel handoff and the done signal give
 // the happens-before edges that make the merge race-free.
-func (s *System) runEpochParallel(hi Cycle) {
+func (s *System) runEpochParallel() {
 	p := &s.pool
-	if !p.started {
-		p.started = true
-		p.work = make(chan int)
-		for w := 0; w < s.workers; w++ {
+	if p.state == poolNew {
+		p.state = poolRunning
+		p.width = s.workers
+		p.done = make(chan struct{})
+		p.ready = make([]chan struct{}, p.width)
+		p.queues = make([][]int32, p.width)
+		for w := 0; w < p.width; w++ {
+			w := w
+			p.ready[w] = make(chan struct{}, 1)
+			p.wg.Add(1)
 			go func() {
-				for idx := range p.work {
-					s.engines[idx].RunUntil(p.hi)
-					p.wg.Done()
+				defer p.wg.Done()
+				for range p.ready[w] {
+					for _, d := range p.queues[w] {
+						s.runDomain(d)
+					}
+					if p.pending.Add(-1) == 0 {
+						p.done <- struct{}{}
+					}
 				}
 			}()
 		}
 	}
-	p.hi = hi
-	p.wg.Add(len(s.active))
-	for _, i := range s.active {
-		p.work <- i
+	nw := p.width
+	if nw > len(s.epochRun) {
+		nw = len(s.epochRun)
 	}
-	p.wg.Wait()
+	for w := 0; w < nw; w++ {
+		p.queues[w] = p.queues[w][:0]
+	}
+	for i, d := range s.epochRun {
+		w := i % nw
+		p.queues[w] = append(p.queues[w], d)
+	}
+	p.pending.Store(int32(nw))
+	for w := 0; w < nw; w++ {
+		p.ready[w] <- struct{}{}
+	}
+	<-p.done
 }
 
-// Stop shuts the worker pool down. Call when done with a system that ran
-// with workers > 1; safe to call multiple times or on an inline system.
+// Stop shuts the worker pool down and joins its goroutines. After Stop
+// the system keeps working — subsequent epochs simply execute inline —
+// and SetWorkers re-arms parallel execution with a fresh pool. Safe to
+// call multiple times, on an inline system, and on a system that never
+// went parallel.
 func (s *System) Stop() {
-	if s.pool.started {
-		close(s.pool.work)
-		s.pool.started = false
+	if s.pool.state == poolRunning {
+		for _, c := range s.pool.ready {
+			close(c)
+		}
+		s.pool.wg.Wait()
 	}
+	s.pool.state = poolStopped
 }
 
-// flush drains every mailbox into its destination engine in the canonical
-// total order: ascending delivery cycle, ties broken by source domain,
-// then by send order within the source. The destination engine assigns
-// fresh sequence numbers in that order, so the merged queue behaves as if
-// a single global scheduler had observed the sends in canonical order —
-// independent of how the epoch was executed.
+// flush drains every non-empty mailbox edge into its destination engine
+// in the canonical total order: ascending delivery cycle, ties broken by
+// source domain, then by send order within the source. Each edge's chunk
+// is sorted by delivery cycle (stably, so send order survives) and the
+// chunks are merged k-way per destination; the destination engine assigns
+// fresh sequence numbers in merge order, so the merged queue behaves as
+// if a single global scheduler had observed the sends in canonical order
+// — independent of how the epoch was executed. Only dirty edges are
+// visited, so a barrier costs O(messages + edges), not O(domains²).
 func (s *System) flush() {
-	for dst := range s.engines {
-		buf := s.merge[:0]
-		for src := range s.engines {
-			box := s.boxes[src][dst]
-			if len(box) == 0 {
-				continue
-			}
-			buf = append(buf, box...)
-			for i := range box {
-				box[i] = msg{} // release closures
-			}
-			s.boxes[src][dst] = box[:0]
-		}
-		if len(buf) == 0 {
+	n := len(s.engines)
+	for src := 0; src < n; src++ {
+		dl := s.outDirty[src]
+		if len(dl) == 0 {
 			continue
 		}
-		// Stable insertion sort by delivery cycle: concatenation order is
-		// (src, seq), so stability yields the canonical (when, src, seq)
-		// order. Mailboxes hold a handful of messages per epoch, and an
-		// in-place insertion sort keeps the barrier allocation-free.
-		for i := 1; i < len(buf); i++ {
-			m := buf[i]
-			j := i - 1
-			for j >= 0 && buf[j].when > m.when {
-				buf[j+1] = buf[j]
-				j--
+		// src ascends across iterations, so per-dst source lists come out
+		// ascending — the merge's tie order.
+		for _, dst := range dl {
+			if len(s.flushSrcs[dst]) == 0 {
+				s.flushDsts = append(s.flushDsts, dst)
 			}
-			buf[j+1] = m
+			s.flushSrcs[dst] = append(s.flushSrcs[dst], int32(src))
 		}
+		s.outDirty[src] = dl[:0]
+	}
+	if len(s.flushDsts) == 0 {
+		return
+	}
+	for _, dst := range s.flushDsts {
+		srcs := s.flushSrcs[dst]
 		e := s.engines[dst]
-		for i := range buf {
-			m := &buf[i]
-			if m.fn != nil {
-				e.Schedule(m.when, m.fn)
-			} else {
-				e.ScheduleArg(m.when, m.argFn, m.arg)
+		if len(srcs) == 1 {
+			box := s.boxes[int(srcs[0])*n+int(dst)]
+			sortBox(box)
+			for i := range box {
+				deliver(e, &box[i])
 			}
-			*m = msg{}
+			s.boxes[int(srcs[0])*n+int(dst)] = box[:0]
+		} else {
+			s.mergeInto(e, int(dst), srcs)
 		}
-		s.merge = buf[:0]
+		s.flushSrcs[dst] = s.flushSrcs[dst][:0]
+		s.activate(dst)
+	}
+	s.flushDsts = s.flushDsts[:0]
+}
+
+// mergeInto k-way merges the per-source chunks destined for dst into its
+// engine. Chunks are pre-sorted by delivery cycle; the head scan picks
+// the strictly smallest cycle, first source wins ties, which — with the
+// ascending source list — yields the canonical (cycle, src, seq) order.
+func (s *System) mergeInto(e *Engine, dst int, srcs []int32) {
+	n := len(s.engines)
+	if cap(s.mergePos) < len(srcs) {
+		s.mergePos = make([]int, len(srcs))
+	}
+	pos := s.mergePos[:len(srcs)]
+	for i, src := range srcs {
+		sortBox(s.boxes[int(src)*n+dst])
+		pos[i] = 0
+	}
+	for {
+		best := -1
+		var bw Cycle
+		for i, src := range srcs {
+			box := s.boxes[int(src)*n+dst]
+			if pos[i] >= len(box) {
+				continue
+			}
+			if best == -1 || box[pos[i]].when < bw {
+				best, bw = i, box[pos[i]].when
+			}
+		}
+		if best == -1 {
+			break
+		}
+		box := s.boxes[int(srcs[best])*n+dst]
+		deliver(e, &box[pos[best]])
+		pos[best]++
+	}
+	for _, src := range srcs {
+		s.boxes[int(src)*n+dst] = s.boxes[int(src)*n+dst][:0]
+	}
+}
+
+// deliver schedules one buffered message on its destination engine and
+// releases the slot's closures.
+func deliver(e *Engine, m *msg) {
+	if m.fn != nil {
+		e.Schedule(m.when, m.fn)
+	} else {
+		e.ScheduleArg(m.when, m.argFn, m.arg)
+	}
+	*m = msg{}
+}
+
+// sortBox stable-insertion-sorts one edge's chunk by delivery cycle.
+// Chunks hold the handful of messages one domain sent one neighbor in one
+// epoch and arrive nearly sorted, so insertion sort beats anything
+// allocation-bearing.
+func sortBox(box []msg) {
+	for i := 1; i < len(box); i++ {
+		m := box[i]
+		j := i - 1
+		for j >= 0 && box[j].when > m.when {
+			box[j+1] = box[j]
+			j--
+		}
+		box[j+1] = m
 	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -105,6 +106,127 @@ func TestSystemStopIdempotent(t *testing.T) {
 	s.Stop() // second stop: still a no-op
 }
 
+// TestSystemRunPanicsOnNonDrain pins Run's refusal to silently drop
+// events: a callback scheduling within one lookahead of the cycle-counter
+// maximum leaves the queue non-drainable at Run's horizon, which must
+// surface as a panic, not a quiet return.
+func TestSystemRunPanicsOnNonDrain(t *testing.T) {
+	s := NewSystem(2, 10)
+	s.Engine(0).Schedule(5, func() {
+		s.Engine(0).Schedule(^Cycle(0)-3, func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("Run returned with an event queued past its horizon; want panic")
+		}
+	}()
+	s.Run()
+}
+
+// TestSystemClampedFinalEpochMergeOrder is the adversarial case for the
+// final epoch: RunUntil's limit clamps the horizon below next+lookahead-1,
+// several source domains land sends exactly at the receiver's lookahead
+// boundary, and the canonical (cycle, src, seq) order must hold at every
+// worker count — including delivery of boundary sends that a sloppy clamp
+// would strand past the limit.
+func TestSystemClampedFinalEpochMergeOrder(t *testing.T) {
+	const lookahead = 10
+	run := func(workers int) []string {
+		s := NewSystem(5, lookahead)
+		s.SetWorkers(workers)
+		defer s.Stop()
+		var order []string
+		deliver := func(tag string) func() {
+			return func() { order = append(order, tag) }
+		}
+		// Sources 1-4 all become runnable at cycle 90 and send to domain 0
+		// with deliveries at exactly now+lookahead = 100 (the boundary) and
+		// beyond; the limit 100 clamps the final epoch.
+		for src := 1; src < 5; src++ {
+			src := src
+			s.Engine(src).Schedule(90, func() {
+				now := s.Engine(src).Now()
+				s.Send(src, 0, now+lookahead+1, deliver(fmt.Sprintf("d%d@%d", src, now+lookahead+1)))
+				s.Send(src, 0, now+lookahead, deliver(fmt.Sprintf("d%d@%d", src, now+lookahead)))
+			})
+		}
+		s.Engine(0).Schedule(95, deliver("d0@95"))
+		if s.RunUntil(100) {
+			t.Fatalf("workers=%d: drained despite deliveries at 101", workers)
+		}
+		return order
+	}
+	want := []string{"d0@95",
+		"d1@100", "d2@100", "d3@100", "d4@100"}
+	for _, w := range []int{1, 4, 8} {
+		got := run(w)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("workers=%d: clamped-epoch order = %v, want %v", w, got, want)
+		}
+	}
+}
+
+// TestSystemStopThenReuse pins the pool lifecycle contract: after Stop the
+// system keeps working (epochs fall back to inline execution, never a
+// silently restarted pool), SetWorkers re-arms a fresh pool cleanly, and
+// every Stop joins its goroutines (checked by goroutine count; the -race
+// CI run makes any unjoined worker visible as well).
+func TestSystemStopThenReuse(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := NewSystem(4, 8)
+	s.SetWorkers(4)
+	ping := func(at Cycle) {
+		for d := 0; d < 4; d++ {
+			d := d
+			s.Engine(d).Schedule(at, func() { s.Send(d, (d+1)%4, at+8, func() {}) })
+		}
+	}
+	ping(0)
+	s.Run()
+	before := s.Dispatched()
+	if before == 0 {
+		t.Fatal("first parallel run dispatched nothing")
+	}
+	s.Stop()
+	if g := runtime.NumGoroutine(); g > base {
+		t.Errorf("goroutines after Stop: %d, want <= baseline %d", g, base)
+	}
+	// Stopped system: epochs run inline, no pool resurrection.
+	ping(100)
+	s.Run()
+	if s.Dispatched() <= before {
+		t.Fatal("stopped system did not execute inline")
+	}
+	if g := runtime.NumGoroutine(); g > base {
+		t.Errorf("inline epochs after Stop started goroutines: %d > baseline %d", g, base)
+	}
+	// Re-arm: a fresh pool, cleanly joined by the next Stop.
+	s.SetWorkers(2)
+	ping(200)
+	s.Run()
+	s.Stop()
+	if g := runtime.NumGoroutine(); g > base {
+		t.Errorf("goroutines after re-arm + Stop: %d, want <= baseline %d", g, base)
+	}
+}
+
+func TestSystemSetWorkersWhileRunningPanics(t *testing.T) {
+	s := NewSystem(4, 8)
+	s.SetWorkers(4)
+	defer s.Stop()
+	for d := 0; d < 4; d++ {
+		d := d
+		s.Engine(d).Schedule(0, func() { s.Send(d, (d+1)%4, 8, func() {}) })
+	}
+	s.Run() // starts the pool
+	defer func() {
+		if recover() == nil {
+			t.Error("SetWorkers on a running pool did not panic")
+		}
+	}()
+	s.SetWorkers(2)
+}
+
 // synthRun drives a synthetic multi-domain cascade and returns a full
 // dispatch trace. Each domain's callback mutates only domain-owned state;
 // cross-domain sends use a deterministic PRNG for fan-out and delays.
@@ -112,10 +234,11 @@ func TestSystemStopIdempotent(t *testing.T) {
 // per event), so a per-domain step cap bounds it; the cap reads only the
 // domain's own log length, whose growth follows the canonical dispatch
 // order and is therefore identical at every worker count.
-func synthRun(workers int) string {
+func synthRun(workers int, adaptive bool) string {
 	const domains, lookahead = 5, 7
 	const maxStepsPerDomain = 1500
 	s := NewSystem(domains, lookahead)
+	s.SetAdaptive(adaptive)
 	s.SetWorkers(workers)
 	defer s.Stop()
 	logs := make([][]string, domains) // domain-owned: no cross-domain writes
@@ -153,15 +276,92 @@ func synthRun(workers int) string {
 
 // TestSystemWorkerCountByteIdentity is the determinism contract: the same
 // event cascade produces an identical dispatch trace at any worker count,
-// including inline execution.
+// including inline execution — in both epoch modes. Adaptive and fixed
+// epochs are each internally deterministic but are distinct result
+// universes (same-cycle cross-domain ties can merge in different epochs),
+// so the reference is per-mode.
 func TestSystemWorkerCountByteIdentity(t *testing.T) {
-	ref := synthRun(1)
-	if len(ref) < 100 {
-		t.Fatalf("synthetic cascade too small to be meaningful:\n%s", ref)
-	}
-	for _, w := range []int{2, 3, 8} {
-		if got := synthRun(w); got != ref {
-			t.Errorf("workers=%d diverged from inline execution\ninline:\n%.300s\nworkers=%d:\n%.300s", w, ref, w, got)
+	for _, adaptive := range []bool{true, false} {
+		ref := synthRun(1, adaptive)
+		if len(ref) < 100 {
+			t.Fatalf("adaptive=%v: synthetic cascade too small to be meaningful:\n%s", adaptive, ref)
 		}
+		for _, w := range []int{2, 3, 8} {
+			if got := synthRun(w, adaptive); got != ref {
+				t.Errorf("adaptive=%v workers=%d diverged from inline execution\ninline:\n%.300s\nworkers=%d:\n%.300s",
+					adaptive, w, ref, w, got)
+			}
+		}
+	}
+}
+
+// TestSystemStress is the CI -race workout: many very short epochs (tight
+// lookahead, dense cross-traffic, frequent barriers) at 8 workers, with
+// dispatch totals pinned against inline execution. Any data race between
+// domain execution, mailbox posting, and the barrier merge surfaces here.
+func TestSystemStress(t *testing.T) {
+	run := func(workers int) (uint64, Cycle) {
+		const domains, lookahead = 9, 4
+		s := NewSystem(domains, lookahead)
+		s.SetWorkers(workers)
+		defer s.Stop()
+		counts := make([]uint64, domains) // domain-owned
+		var step func(d int, state uint64)
+		step = func(d int, state uint64) {
+			counts[d]++
+			if counts[d] >= 4000 {
+				return
+			}
+			r := NewRand(state)
+			for i := 0; i < 1+int(state%2); i++ {
+				dst := r.Intn(domains)
+				delay := Cycle(lookahead + r.Intn(3)) // mostly boundary-tight sends
+				next := state*6364136223846793005 + uint64(i) + 1442695040888963407
+				s.SendArg(d, dst, s.Engine(d).Now()+delay, func(v uint64) { step(dst, v) }, next)
+			}
+		}
+		for d := 0; d < domains; d++ {
+			d := d
+			seed := uint64(3*d + 1)
+			s.Engine(d).Schedule(Cycle(d % 3), func() { step(d, seed) })
+		}
+		s.RunUntil(30000)
+		return s.Dispatched(), s.Now()
+	}
+	refDispatched, refNow := run(1)
+	if refDispatched < 1000 {
+		t.Fatalf("stress cascade too small: %d events", refDispatched)
+	}
+	for i := 0; i < 3; i++ {
+		if d, n := run(8); d != refDispatched || n != refNow {
+			t.Fatalf("workers=8 iteration %d: (dispatched, now) = (%d, %d), inline = (%d, %d)",
+				i, d, n, refDispatched, refNow)
+		}
+	}
+}
+
+// TestSystemAdaptiveLoneDomainBoundedByOwnSends pins the own-send rule:
+// a domain running alone under adaptive widening must stop before
+// dispatching any event at or past its earliest outgoing delivery +
+// lookahead — the first cycle a reply could arrive — so the reply is
+// never leapfrogged.
+func TestSystemAdaptiveLoneDomainBoundedByOwnSends(t *testing.T) {
+	s := NewSystem(2, 10)
+	var order []string
+	// Domain 0 is the only active domain. At cycle 5 it pings domain 1
+	// (delivery 15); domain 1 replies immediately (delivery 25). Domain 0
+	// also has local work at 24 and 26: the 24 must run before the reply,
+	// the 26 after it.
+	s.Engine(0).Schedule(5, func() {
+		s.Send(0, 1, 15, func() {
+			s.Send(1, 0, 25, func() { order = append(order, "reply@25") })
+		})
+	})
+	s.Engine(0).Schedule(24, func() { order = append(order, "local@24") })
+	s.Engine(0).Schedule(26, func() { order = append(order, "local@26") })
+	s.Run()
+	want := []string{"local@24", "reply@25", "local@26"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("lone-domain adaptive order = %v, want %v", order, want)
 	}
 }
