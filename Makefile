@@ -13,11 +13,14 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the packages that run concurrently: the sweep harness, the
-# experiment runner it drives, and the event engine underneath.
-# internal/core rides along for the UVM-runtime regression tests.
+# Race-check the packages that run concurrently: the sweep harness
+# (including the weighted fair queue), the experiment runner it drives,
+# the event engine underneath, and the sweep service (manifest
+# persistence, restart restore, TTL janitor). internal/core rides along
+# for the UVM-runtime regression tests; cmd/sweepctl drives the daemon's
+# HTTP surface end to end.
 test-race:
-	$(GO) test -race -timeout 20m ./internal/harness ./internal/exp ./internal/sim ./internal/core ./internal/gpu ./internal/server
+	$(GO) test -race -timeout 20m ./internal/harness ./internal/exp ./internal/sim ./internal/core ./internal/gpu ./internal/server ./cmd/sweepctl
 
 # Traced smoke: a short run with -trace must produce structurally valid
 # Chrome trace-event JSON (same check CI runs).
@@ -27,10 +30,12 @@ trace-smoke:
 
 # Sweep-service smoke: build the real sweepd binary, race two clients
 # submitting the same grid, assert exactly-once execution and
-# byte-identical served summaries, then drain cleanly over HTTP (same
-# check CI runs; see DESIGN.md §15).
+# byte-identical served summaries, then drain cleanly over HTTP; plus
+# the kill-and-restart leg — run a grid, SIGKILL the daemon, restart on
+# the same -cachedir, and require the grid to survive (same checks CI
+# runs; see DESIGN.md §15).
 sweepd-smoke:
-	$(GO) test -run TestSweepdSmoke -v ./cmd/sweepd
+	$(GO) test -run 'TestSweepd' -v ./cmd/sweepd
 
 # The recorded artifacts: full test log and benchmark log.
 test_output.txt:

@@ -1,0 +1,334 @@
+// Command sweepctl is the CLI client for the sweepd daemon: it wraps
+// the /api/v1 JSON endpoints (see DESIGN.md §15) so driving a remote
+// sweep doesn't require hand-rolling curl bodies.
+//
+//	sweepctl [-addr host:port] [-client name] <command> [flags]
+//
+//	submit    submit a grid (figure preset or explicit runs file); -wait follows it
+//	status    print one grid's status
+//	events    stream a grid's JSON-lines progress until it finishes
+//	results   print a finished grid's per-job summaries
+//	figure    render a finished preset grid's table (-csv for CSV)
+//	stores    print store occupancy, queue, and grid-lifecycle counters
+//	shutdown  ask the daemon to drain gracefully
+//
+// Examples:
+//
+//	sweepctl submit -preset fig11 -scale small -wait
+//	sweepctl -client alice submit -runs points.json -priority 2
+//	sweepctl figure g0001 -csv > fig11.csv
+//
+// The -client identity (sent as X-Sweep-Client) keys the daemon's
+// weighted fair scheduling; it defaults to $USER so multi-user queues
+// are attributable without any flags.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const mainUsage = `usage: sweepctl [-addr host:port] [-client name] <command> [flags]
+
+commands:
+  submit    submit a grid (-preset or -runs file; -wait to follow)
+  status    <grid-id>   print grid status
+  events    <grid-id>   stream JSON-lines progress until done
+  results   <grid-id>   print per-job summaries
+  figure    <grid-id>   render a preset grid's figure table (-csv)
+  stores    print store/queue/grid counters
+  shutdown  drain the daemon gracefully
+
+run "sweepctl <command> -h" for a command's flags
+`
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweepctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8321", "sweepd address (host:port or full URL)")
+	client := fs.String("client", os.Getenv("USER"), "client identity for fair scheduling (X-Sweep-Client)")
+	fs.Usage = func() { fmt.Fprint(stderr, mainUsage) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &ctl{base: strings.TrimRight(base, "/") + "/api/v1", client: *client, out: stdout, errw: stderr}
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(rest)
+	case "status":
+		return c.grid(rest, "")
+	case "results":
+		return c.grid(rest, "/results")
+	case "events":
+		return c.events(rest)
+	case "figure":
+		return c.figure(rest)
+	case "stores":
+		return c.get("/stores")
+	case "shutdown":
+		return c.post("/shutdown", nil, nil)
+	default:
+		fmt.Fprintf(c.errw, "sweepctl: unknown command %q\n", cmd)
+		fs.Usage()
+		return 2
+	}
+}
+
+type ctl struct {
+	base   string // .../api/v1
+	client string
+	out    io.Writer
+	errw   io.Writer
+}
+
+// fail prints the daemon's JSON error body (or the raw body) and the
+// HTTP status.
+func (c *ctl) fail(resp *http.Response, body []byte) int {
+	var ae struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+		msg = ae.Error
+	}
+	fmt.Fprintf(c.errw, "sweepctl: %s: %s\n", resp.Status, msg)
+	return 1
+}
+
+// do sends one request with the client identity attached and hands the
+// response to sink; non-2xx responses become exit code 1.
+func (c *ctl) do(method, path string, body io.Reader, sink func(*http.Response) error) int {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		fmt.Fprintln(c.errw, "sweepctl:", err)
+		return 1
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.client != "" {
+		req.Header.Set("X-Sweep-Client", c.client)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(c.errw, "sweepctl:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		b, _ := io.ReadAll(resp.Body)
+		return c.fail(resp, b)
+	}
+	if sink == nil {
+		sink = func(r *http.Response) error {
+			_, err := io.Copy(c.out, r.Body)
+			return err
+		}
+	}
+	if err := sink(resp); err != nil {
+		fmt.Fprintln(c.errw, "sweepctl:", err)
+		return 1
+	}
+	return 0
+}
+
+func (c *ctl) get(path string) int {
+	return c.do(http.MethodGet, path, nil, nil)
+}
+
+func (c *ctl) post(path string, body io.Reader, sink func(*http.Response) error) int {
+	return c.do(http.MethodPost, path, body, sink)
+}
+
+// grid handles the status/results commands: one positional grid ID plus
+// a fixed endpoint suffix.
+func (c *ctl) grid(args []string, suffix string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(c.errw, "sweepctl: expected exactly one grid ID (from submit's output)")
+		return 2
+	}
+	return c.get("/grids/" + args[0] + suffix)
+}
+
+// events streams a grid's ndjson progress to stdout until the terminal
+// record; the exit code reflects the grid's final status.
+func (c *ctl) events(args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(c.errw, "sweepctl: expected exactly one grid ID")
+		return 2
+	}
+	return c.follow(args[0])
+}
+
+// follow streams /events, echoing each line, and returns 0 only when the
+// terminal grid record reports "done".
+func (c *ctl) follow(id string) int {
+	status := ""
+	code := c.do(http.MethodGet, "/grids/"+id+"/events", nil, func(resp *http.Response) error {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Bytes()
+			fmt.Fprintf(c.out, "%s\n", line)
+			var ev struct {
+				Type   string `json:"type"`
+				Status string `json:"status"`
+			}
+			if json.Unmarshal(line, &ev) == nil && ev.Type == "grid" {
+				status = ev.Status
+			}
+		}
+		return sc.Err()
+	})
+	if code != 0 {
+		return code
+	}
+	if status != "done" {
+		fmt.Fprintf(c.errw, "sweepctl: grid %s finished with status %q\n", id, status)
+		return 1
+	}
+	return 0
+}
+
+func (c *ctl) figure(args []string) int {
+	// Accept the grid ID before or after -csv (the flag package stops at
+	// the first positional, so "figure g0001 -csv" needs the rotation).
+	var id string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
+	fs.SetOutput(c.errw)
+	csv := fs.Bool("csv", false, "emit the CSV form of the table")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if id == "" && fs.NArg() == 1 {
+		id = fs.Arg(0)
+	} else if fs.NArg() != 0 {
+		fmt.Fprintln(c.errw, "sweepctl: expected exactly one grid ID")
+		return 2
+	}
+	if id == "" {
+		fmt.Fprintln(c.errw, "sweepctl: expected exactly one grid ID")
+		return 2
+	}
+	path := "/grids/" + id + "/figure"
+	if *csv {
+		path += "?format=csv"
+	}
+	return c.get(path)
+}
+
+// submit builds the POST /grids body from flags. Explicit grid points
+// come from -runs: a JSON array of run objects (the API's "runs" field),
+// read from a file or stdin ("-").
+func (c *ctl) submit(args []string) int {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	fs.SetOutput(c.errw)
+	preset := fs.String("preset", "", "figure preset grid (e.g. fig11); exclusive with -runs")
+	runsPath := fs.String("runs", "", "JSON file with an array of run points (\"-\" = stdin); exclusive with -preset")
+	scale := fs.String("scale", "", "workload scale: small, paper (default), large")
+	seed := fs.Uint64("seed", 0, "graph generator seed (0 keeps the server default)")
+	vertices := fs.Int("vertices", 0, "override the scale's vertex count")
+	avgDegree := fs.Int("avg-degree", 0, "override the scale's average degree")
+	par := fs.Int("par", 0, "intra-run parallelism (0 = the daemon's default)")
+	priority := fs.Int("priority", 0, "ordering within this client's own jobs")
+	suite := fs.String("suite", "", "comma-separated workload subset for presets")
+	wait := fs.Bool("wait", false, "follow the grid's events until it finishes")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(c.errw, "sweepctl: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	body := map[string]any{}
+	if *preset != "" {
+		body["preset"] = *preset
+	}
+	if *runsPath != "" {
+		var data []byte
+		var err error
+		if *runsPath == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(*runsPath)
+		}
+		if err != nil {
+			fmt.Fprintln(c.errw, "sweepctl:", err)
+			return 1
+		}
+		var runs []json.RawMessage
+		if err := json.Unmarshal(data, &runs); err != nil {
+			fmt.Fprintf(c.errw, "sweepctl: -runs must be a JSON array of run points: %v\n", err)
+			return 1
+		}
+		body["runs"] = runs
+	}
+	if *scale != "" {
+		body["scale"] = *scale
+	}
+	if *seed != 0 {
+		body["seed"] = *seed
+	}
+	if *vertices != 0 {
+		body["vertices"] = *vertices
+	}
+	if *avgDegree != 0 {
+		body["avg_degree"] = *avgDegree
+	}
+	if *par != 0 {
+		body["par"] = *par
+	}
+	if *priority != 0 {
+		body["priority"] = *priority
+	}
+	if *suite != "" {
+		body["suite"] = strings.Split(*suite, ",")
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		fmt.Fprintln(c.errw, "sweepctl:", err)
+		return 1
+	}
+	var id string
+	code := c.post("/grids", strings.NewReader(string(data)), func(resp *http.Response) error {
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return err
+		}
+		id = st.ID
+		_, err = c.out.Write(raw)
+		return err
+	})
+	if code != 0 || !*wait {
+		return code
+	}
+	return c.follow(id)
+}

@@ -6,8 +6,17 @@
 //
 //	sweepd -addr 127.0.0.1:8321 -jobs 8 -cachedir .uvmsim-cache
 //
+// Grid state is durable: every grid persists a JSON manifest under
+// <cachedir>/manifests, and a restarted daemon — even one killed
+// outright — restores finished grids verbatim and re-enqueues
+// unfinished remainders under their original IDs. Scheduling is fair
+// across clients (X-Sweep-Client / the submission's "client" field;
+// weights via -client-weights), and -grid-ttl retires finished grids
+// after an age without touching the result store. cmd/sweepctl wraps
+// this API for interactive use.
+//
 // The API lives under /api/v1 (see DESIGN.md §15 and EXPERIMENTS.md for
-// curl examples):
+// sweepctl and curl examples):
 //
 //	POST /api/v1/grids            submit a grid; 429 + Retry-After under load
 //	GET  /api/v1/grids/{id}       poll status
@@ -33,6 +42,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,7 +59,15 @@ func main() {
 	par := flag.Int("par", 1, "intra-run parallelism stamped on jobs (part of the cache key when > 1)")
 	queueCap := flag.Int("queue", 256, "max pending jobs before submissions get 429; 0 = unbounded")
 	timeout := flag.Duration("timeout", 0, "per-simulation wall-time limit; 0 = none")
+	gridTTL := flag.Duration("grid-ttl", 0, "retire finished grids (and their manifests) after this age; 0 = keep forever")
+	weightSpec := flag.String("client-weights", "", "per-client fair-share weights, e.g. \"ci=4,alice=2\" (unlisted clients get 1)")
 	flag.Parse()
+
+	weights, err := parseWeights(*weightSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	cache, err := harness.OpenCache(*cacheDir)
 	if err != nil {
@@ -70,7 +89,10 @@ func main() {
 		TraceDir:   *traceDir,
 		TraceKeyed: true, // clients derive trace names from job keys
 	})
-	srv, err := server.New(server.Options{Pool: pool, QueueCap: *queueCap})
+	srv, err := server.New(server.Options{
+		Pool: pool, QueueCap: *queueCap,
+		GridTTL: *gridTTL, ClientWeights: weights,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -81,8 +103,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("sweepd listening on http://%s (workers=%d queue=%d cache=%s entries=%d)\n",
-		ln.Addr(), pool.Workers(), *queueCap, *cacheDir, cache.Len())
+	fmt.Printf("sweepd listening on http://%s (workers=%d queue=%d cache=%s entries=%d grids-restored=%d)\n",
+		ln.Addr(), pool.Workers(), *queueCap, *cacheDir, cache.Len(), srv.Restored())
 
 	httpSrv := &http.Server{Handler: srv}
 	httpErr := make(chan error, 1)
@@ -126,4 +148,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "sweepd: drained; results remain in "+*cacheDir)
+}
+
+// parseWeights decodes the -client-weights spec ("name=N,name=N").
+func parseWeights(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("sweepd: -client-weights entry %q is not name=N", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("sweepd: -client-weights %q needs a positive integer weight", part)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -14,6 +15,77 @@ import (
 	"testing"
 	"time"
 )
+
+// daemon is one running sweepd process under test.
+type daemon struct {
+	cmd     *exec.Cmd
+	base    string // http://host:port from the startup line
+	stderr  *bytes.Buffer
+	exited  chan struct{} // closed once the process is gone
+	exitErr error
+}
+
+// buildSweepd compiles the real binary once into dir.
+func buildSweepd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "sweepd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sweepd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startSweepd launches the binary on a free port and waits for the
+// startup line to learn the bound address.
+func startSweepd(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{stderr: &bytes.Buffer{}, exited: make(chan struct{})}
+	d.cmd = exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Stderr = d.stderr
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { d.exitErr = d.cmd.Wait(); close(d.exited) }()
+	t.Cleanup(func() {
+		select {
+		case <-d.exited:
+		default:
+			d.cmd.Process.Kill()
+			<-d.exited
+		}
+	})
+	// The startup line carries the bound address (port 0 was requested).
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			d.base = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if d.base == "" {
+		t.Fatalf("no listening line from sweepd; stderr:\n%s", d.stderr.String())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return d
+}
+
+// kill SIGKILLs the daemon — the crash path: no drain, no manifest
+// rewrite, no goodbye.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	d.cmd.Process.Kill()
+	<-d.exited
+}
+
+const smokeBody = `{"scale":"small","vertices":65536,"avg_degree":6,"runs":[
+	{"workload":"BFS-TTC","ratio":0.5},
+	{"workload":"BFS-TTC","ratio":1.0}]}`
 
 // TestSweepdSmoke is the end-to-end daemon check (`make sweepd-smoke`):
 // build the real binary, start it, race two clients submitting the same
@@ -25,56 +97,13 @@ func TestSweepdSmoke(t *testing.T) {
 		t.Skip("builds and runs the sweepd binary")
 	}
 	dir := t.TempDir()
-	bin := filepath.Join(dir, "sweepd")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building sweepd: %v\n%s", err, out)
-	}
-
-	cmd := exec.Command(bin,
-		"-addr", "127.0.0.1:0",
+	bin := buildSweepd(t, dir)
+	d := startSweepd(t, bin,
 		"-cachedir", filepath.Join(dir, "cache"),
 		"-trace-dir", filepath.Join(dir, "traces"),
 		"-jobs", "2", "-queue", "64")
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	var exitErr error
-	exited := make(chan struct{}) // closed once the daemon process is gone
-	go func() { exitErr = cmd.Wait(); close(exited) }()
-	defer func() {
-		select {
-		case <-exited:
-		default:
-			cmd.Process.Kill()
-			<-exited
-		}
-	}()
-
-	// The startup line carries the bound address (port 0 was requested).
-	sc := bufio.NewScanner(stdout)
-	var base string
-	for sc.Scan() {
-		line := sc.Text()
-		if i := strings.Index(line, "listening on "); i >= 0 {
-			base = strings.Fields(line[i+len("listening on "):])[0]
-			break
-		}
-	}
-	if base == "" {
-		t.Fatalf("no listening line from sweepd; stderr:\n%s", stderr.String())
-	}
-	go io.Copy(io.Discard, stdout) // keep the pipe drained
-
-	body := `{"scale":"small","vertices":65536,"avg_degree":6,"runs":[
-		{"workload":"BFS-TTC","ratio":0.5},
-		{"workload":"BFS-TTC","ratio":1.0}]}`
+	base, stderr, exited := d.base, d.stderr, d.exited
+	body := smokeBody
 
 	// Two clients race the same grid.
 	type outcome struct {
@@ -136,12 +165,119 @@ func TestSweepdSmoke(t *testing.T) {
 	resp.Body.Close()
 	select {
 	case <-exited:
-		if exitErr != nil {
-			t.Fatalf("sweepd exited with %v\nstderr:\n%s", exitErr, stderr.String())
+		if d.exitErr != nil {
+			t.Fatalf("sweepd exited with %v\nstderr:\n%s", d.exitErr, stderr.String())
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatalf("sweepd did not exit after shutdown\nstderr:\n%s", stderr.String())
 	}
+}
+
+// TestSweepdRestartSmoke is the kill-and-restart leg: run a grid to
+// completion, SIGKILL the daemon, restart it on the same -cachedir, and
+// require the grid's status to survive — served byte-identically from
+// the restored manifest — with a resubmission answered entirely from
+// the store.
+func TestSweepdRestartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sweepd binary")
+	}
+	dir := t.TempDir()
+	bin := buildSweepd(t, dir)
+	cachedir := filepath.Join(dir, "cache")
+
+	d1 := startSweepd(t, bin, "-cachedir", cachedir, "-jobs", "2")
+	o := runClient(d1.base, smokeBody)
+	if o.err != nil {
+		t.Fatalf("client: %v\nstderr:\n%s", o.err, d1.stderr.String())
+	}
+	// Wait for the manifest rewrite to land before killing: status can
+	// show done a beat before the watcher persists, and the byte-identity
+	// assertion below needs the terminal statuses on disk.
+	manifest := filepath.Join(cachedir, "manifests", o.id+".json")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		data, err := os.ReadFile(manifest)
+		if err == nil && bytes.Count(data, []byte(`"status":"done"`)) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("manifest %s never turned terminal: %s", manifest, data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	before, err := getBody(d1.base + "/api/v1/grids/" + o.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.kill(t)
+
+	d2 := startSweepd(t, bin, "-cachedir", cachedir, "-jobs", "2")
+	after, err := getBody(d2.base + "/api/v1/grids/" + o.id)
+	if err != nil {
+		t.Fatalf("grid %s did not survive the restart: %v\nstderr:\n%s", o.id, err, d2.stderr.String())
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("grid %s status differs across restart:\npre:  %s\npost: %s", o.id, before, after)
+	}
+	var stores struct {
+		Grids struct {
+			Restored int `json:"restored"`
+		} `json:"grids"`
+	}
+	if err := getJSON(d2.base+"/api/v1/stores", &stores); err != nil {
+		t.Fatal(err)
+	}
+	if stores.Grids.Restored != 1 {
+		t.Errorf("restarted daemon restored %d grids, want 1", stores.Grids.Restored)
+	}
+	// The results outlived the kill too: a resubmission is answered
+	// entirely from the store, done at admission.
+	resp, err := http.Post(d2.base+"/api/v1/grids", "application/json", strings.NewReader(smokeBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st struct {
+		Stored int  `json:"stored"`
+		Done   bool `json:"done"`
+	}
+	if resp.StatusCode != http.StatusAccepted || json.Unmarshal(data, &st) != nil {
+		t.Fatalf("resubmission returned %d: %s", resp.StatusCode, data)
+	}
+	if st.Stored != 2 || !st.Done {
+		t.Errorf("resubmission after restart: stored=%d done=%v, want 2/true", st.Stored, st.Done)
+	}
+
+	resp, err = http.Post(d2.base+"/api/v1/shutdown", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	select {
+	case <-d2.exited:
+		if d2.exitErr != nil {
+			t.Fatalf("sweepd exited with %v\nstderr:\n%s", d2.exitErr, d2.stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("sweepd did not exit after shutdown\nstderr:\n%s", d2.stderr.String())
+	}
+}
+
+// getBody fetches a URL, requiring 200.
+func getBody(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s returned %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
 }
 
 // runClient submits the grid, polls it to completion, and fetches the

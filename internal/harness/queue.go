@@ -10,7 +10,7 @@ import (
 
 // This file is the daemon-shaped entry point to the pool: where Run
 // executes one finite batch and returns, a long-running service (cmd/
-// sweepd) feeds an unbounded stream of jobs through a bounded priority
+// sweepd) feeds an unbounded stream of jobs through a bounded fair
 // Queue into Pool.Serve, whose workers live for the life of the process.
 // Each queued Task carries its own executor, so jobs built by different
 // runners (different workload scales, say) share one pool.
@@ -34,9 +34,14 @@ type Task struct {
 	// Exec runs the job. Tasks from different submitters may carry
 	// different executors through one shared queue.
 	Exec Executor
-	// Priority orders the queue: higher pops sooner; equal priorities pop
-	// FIFO.
+	// Priority orders tasks *within one client*: higher pops sooner,
+	// equal priorities pop FIFO. Priority never lets one client jump
+	// another client's share — see Queue.
 	Priority int
+	// Client identifies the submitter for fair scheduling. All tasks with
+	// the same Client share one weighted slot in the queue's round; the
+	// empty string is a valid (shared) client.
+	Client string
 
 	// ctx, when non-nil, cancels this task independently of the serving
 	// pool (a client abandoning its submission, say).
@@ -48,7 +53,7 @@ type Task struct {
 }
 
 // NewTask builds a task. ctx may be nil, meaning the task lives as long
-// as the serving pool does.
+// as the serving pool does. Set Client before Push for fair scheduling.
 func NewTask(ctx context.Context, j Job, exec Executor, priority int) *Task {
 	return &Task{Job: j, Exec: exec, Priority: priority, ctx: ctx, done: make(chan struct{})}
 }
@@ -83,22 +88,68 @@ func (t *Task) Abort(reason string) {
 	})
 }
 
-// Queue is a bounded, priority-ordered task queue feeding Pool.Serve.
+// strideScale is the virtual-time quantum of a weight-1 pop. A client
+// with weight w advances its meter by strideScale/w per popped task, so
+// over any contended window clients drain in proportion to their
+// weights (stride scheduling — the deterministic form of deficit
+// round-robin).
+const strideScale = 1 << 16
+
+// clientQ is one client's pending tasks (priority levels, FIFO within a
+// level) plus its fair-share meter.
+type clientQ struct {
+	levels map[int][]*Task
+	prios  []int  // present priorities, sorted descending
+	n      int    // pending tasks
+	pass   uint64 // virtual time consumed (stride scheduling)
+}
+
+// Queue is a bounded task queue feeding Pool.Serve, fair across clients:
+// each Pop serves the client with the least weighted virtual time
+// consumed, so a client streaming thousands of tasks cannot starve one
+// submitting a handful — shares converge to the configured weights
+// (default: equal) no matter what priorities anyone claims. Within one
+// client, Priority orders as before (descending, FIFO per level).
 // It is safe for concurrent pushers and poppers.
 type Queue struct {
-	mu     sync.Mutex
-	cap    int
-	n      int
-	closed bool
-	levels map[int][]*Task
-	prios  []int // present priorities, sorted descending
-	wait   chan struct{}
+	mu      sync.Mutex
+	cap     int
+	n       int
+	closed  bool
+	clients map[string]*clientQ
+	weights map[string]int
+	vtime   uint64 // pass of the most recently served client
+	wait    chan struct{}
 }
 
 // NewQueue builds a queue holding at most capacity pending tasks;
 // capacity <= 0 means unbounded.
 func NewQueue(capacity int) *Queue {
-	return &Queue{cap: capacity, levels: make(map[int][]*Task)}
+	return &Queue{cap: capacity, clients: make(map[string]*clientQ)}
+}
+
+// SetWeights installs per-client weights (nil entries and clients not
+// listed get weight 1). A weight-w client receives w shares per round
+// under contention. Weights are a server-side policy — they come from
+// configuration, not from submissions, so they cannot be gamed the way
+// the honor-system priority field could.
+func (q *Queue) SetWeights(w map[string]int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.weights = make(map[string]int, len(w))
+	for name, weight := range w {
+		q.weights[name] = weight
+	}
+}
+
+// stride returns the per-pop virtual-time advance for a client.
+// Callers hold the queue mutex.
+func (q *Queue) stride(client string) uint64 {
+	w := q.weights[client]
+	if w < 1 {
+		w = 1
+	}
+	return strideScale / uint64(w)
 }
 
 // Push admits tasks all-or-nothing: if the batch would overflow the
@@ -117,19 +168,29 @@ func (q *Queue) Push(tasks ...*Task) error {
 		return ErrQueueFull
 	}
 	for _, t := range tasks {
-		if _, ok := q.levels[t.Priority]; !ok {
-			q.prios = append(q.prios, t.Priority)
-			sort.Sort(sort.Reverse(sort.IntSlice(q.prios)))
+		cs := q.clients[t.Client]
+		if cs == nil {
+			// A newly active client starts at the current virtual time:
+			// it gets its fair share from now on but banks no credit for
+			// the time it sat idle.
+			cs = &clientQ{levels: make(map[int][]*Task), pass: q.vtime}
+			q.clients[t.Client] = cs
 		}
-		q.levels[t.Priority] = append(q.levels[t.Priority], t)
+		if _, ok := cs.levels[t.Priority]; !ok {
+			cs.prios = append(cs.prios, t.Priority)
+			sort.Sort(sort.Reverse(sort.IntSlice(cs.prios)))
+		}
+		cs.levels[t.Priority] = append(cs.levels[t.Priority], t)
+		cs.n++
 	}
 	q.n += len(tasks)
 	q.broadcast()
 	return nil
 }
 
-// Pop returns the highest-priority pending task, blocking until one is
-// available, the queue closes (ErrQueueClosed once drained), or ctx ends.
+// Pop returns the next task under weighted fair scheduling, blocking
+// until one is available, the queue closes (ErrQueueClosed once
+// drained), or ctx ends.
 func (q *Queue) Pop(ctx context.Context) (*Task, error) {
 	for {
 		q.mu.Lock()
@@ -151,24 +212,40 @@ func (q *Queue) Pop(ctx context.Context) (*Task, error) {
 	}
 }
 
-// popLocked removes and returns the next task, or nil when empty.
+// popLocked removes and returns the next task, or nil when empty: the
+// pending client with the least consumed virtual time (ties broken by
+// name, so scheduling is deterministic), then that client's highest
+// priority, FIFO within the level.
 func (q *Queue) popLocked() *Task {
-	for i, p := range q.prios {
-		level := q.levels[p]
-		if len(level) == 0 {
-			continue
+	var bestName string
+	var best *clientQ
+	for name, cs := range q.clients {
+		if best == nil || cs.pass < best.pass || (cs.pass == best.pass && name < bestName) {
+			bestName, best = name, cs
 		}
-		t := level[0]
-		level[0] = nil
-		q.levels[p] = level[1:]
-		if len(q.levels[p]) == 0 {
-			delete(q.levels, p)
-			q.prios = append(q.prios[:i], q.prios[i+1:]...)
-		}
-		q.n--
-		return t
 	}
-	return nil
+	if best == nil {
+		return nil
+	}
+	p := best.prios[0]
+	level := best.levels[p]
+	t := level[0]
+	level[0] = nil
+	best.levels[p] = level[1:]
+	if len(best.levels[p]) == 0 {
+		delete(best.levels, p)
+		best.prios = best.prios[1:]
+	}
+	best.n--
+	q.n--
+	q.vtime = best.pass
+	best.pass += q.stride(bestName)
+	if best.n == 0 {
+		// Drained clients leave the table (bounding it); a later burst
+		// re-enters at the then-current virtual time.
+		delete(q.clients, bestName)
+	}
+	return t
 }
 
 // waitLocked returns a channel closed at the next push or close.
@@ -200,17 +277,25 @@ func (q *Queue) Close() {
 // them so the caller can Abort each one (the queue never completes tasks
 // itself). In-flight tasks — already popped by workers — are unaffected,
 // which is exactly the "drain in-flight, drop pending" shape of a
-// graceful daemon shutdown.
+// graceful daemon shutdown. The returned order is deterministic: clients
+// by name, then priority descending, FIFO within a level.
 func (q *Queue) CloseNow() []*Task {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = true
-	var pending []*Task
-	for _, p := range q.prios {
-		pending = append(pending, q.levels[p]...)
+	names := make([]string, 0, len(q.clients))
+	for name := range q.clients {
+		names = append(names, name)
 	}
-	q.levels = make(map[int][]*Task)
-	q.prios = nil
+	sort.Strings(names)
+	var pending []*Task
+	for _, name := range names {
+		cs := q.clients[name]
+		for _, p := range cs.prios {
+			pending = append(pending, cs.levels[p]...)
+		}
+	}
+	q.clients = make(map[string]*clientQ)
 	q.n = 0
 	q.broadcast()
 	return pending
@@ -221,6 +306,17 @@ func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.n
+}
+
+// PendingByClient snapshots the pending-task count per client.
+func (q *Queue) PendingByClient() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.clients))
+	for name, cs := range q.clients {
+		out[name] = cs.n
+	}
+	return out
 }
 
 // Cap returns the queue capacity (0 = unbounded).

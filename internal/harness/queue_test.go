@@ -48,6 +48,113 @@ func TestQueuePriorityAndFIFO(t *testing.T) {
 	}
 }
 
+// pushAs queues one task for a named client, failing the test on error.
+func pushAs(t *testing.T, q *Queue, client, id string, prio int) *Task {
+	t.Helper()
+	j := fakeJob(0)
+	j.ID = id
+	task := NewTask(nil, j, okExec, prio)
+	task.Client = client
+	if err := q.Push(task); err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+// popIDs drains n tasks and returns their IDs in pop order.
+func popIDs(t *testing.T, q *Queue, n int) []string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		task, err := q.Pop(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, task.Job.ID)
+	}
+	return ids
+}
+
+// TestQueueFairAcrossClients: a greedy client's backlog cannot starve a
+// small submission from another client — equal-weight clients alternate,
+// whatever priorities the greedy one claims.
+func TestQueueFairAcrossClients(t *testing.T) {
+	q := NewQueue(0)
+	// Greedy client pushes first, with the highest priority it can claim.
+	for i := 0; i < 6; i++ {
+		pushAs(t, q, "greedy", fmt.Sprintf("g%d", i), 100)
+	}
+	pushAs(t, q, "meek", "m0", 0)
+	pushAs(t, q, "meek", "m1", 0)
+	got := popIDs(t, q, 8)
+	// meek entered at the current virtual time, so its two tasks pop in
+	// the first rounds rather than after greedy's entire backlog.
+	want := []string{"g0", "m0", "g1", "m1", "g2", "g3", "g4", "g5"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v (fair interleave)", got, want)
+		}
+	}
+}
+
+// TestQueuePriorityOrdersWithinClient: priorities still order a single
+// client's own tasks, exactly as before fairness existed.
+func TestQueuePriorityOrdersWithinClient(t *testing.T) {
+	q := NewQueue(0)
+	pushAs(t, q, "a", "a-low", 0)
+	pushAs(t, q, "a", "a-high", 5)
+	pushAs(t, q, "b", "b-only", 0)
+	got := popIDs(t, q, 3)
+	want := []string{"a-high", "b-only", "a-low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueWeightedShares: a weight-2 client drains two tasks per round
+// against a weight-1 client's one.
+func TestQueueWeightedShares(t *testing.T) {
+	q := NewQueue(0)
+	q.SetWeights(map[string]int{"heavy": 2})
+	for i := 0; i < 6; i++ {
+		pushAs(t, q, "heavy", fmt.Sprintf("h%d", i), 0)
+	}
+	for i := 0; i < 3; i++ {
+		pushAs(t, q, "light", fmt.Sprintf("l%d", i), 0)
+	}
+	got := popIDs(t, q, 9)
+	// Stride scheduling: heavy advances strideScale/2 per pop, light a
+	// full strideScale, so the contended window serves 2:1.
+	want := []string{"h0", "l0", "h1", "h2", "l1", "h3", "h4", "l2", "h5"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v (2:1 weighted shares)", got, want)
+		}
+	}
+}
+
+// TestQueuePendingByClient snapshots per-client backlog, and CloseNow
+// returns every client's tasks.
+func TestQueuePendingByClient(t *testing.T) {
+	q := NewQueue(0)
+	pushAs(t, q, "a", "a0", 0)
+	pushAs(t, q, "a", "a1", 0)
+	pushAs(t, q, "b", "b0", 0)
+	by := q.PendingByClient()
+	if by["a"] != 2 || by["b"] != 1 {
+		t.Fatalf("PendingByClient = %v, want a:2 b:1", by)
+	}
+	dropped := q.CloseNow()
+	if len(dropped) != 3 {
+		t.Fatalf("CloseNow returned %d tasks, want all 3", len(dropped))
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue holds %d after CloseNow", q.Len())
+	}
+}
+
 // TestQueuePushAllOrNothing rejects an overflowing batch without
 // admitting any of it.
 func TestQueuePushAllOrNothing(t *testing.T) {

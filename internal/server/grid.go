@@ -39,8 +39,13 @@ type SubmitRequest struct {
 	// Par is the intra-run parallelism stamped on each job (default: the
 	// pool's). Par > 1 is part of the cache key.
 	Par int `json:"par,omitempty"`
-	// Priority orders the queue; higher runs sooner (default 0).
+	// Priority orders this client's own jobs; higher runs sooner (default
+	// 0). Priority cannot jump another client's fair share — see
+	// harness.Queue.
 	Priority int `json:"priority,omitempty"`
+	// Client identifies the submitter for weighted fair scheduling; the
+	// X-Sweep-Client header sets it when the body leaves it empty.
+	Client string `json:"client,omitempty"`
 }
 
 // RunRequest is one explicit grid point: a workload plus config
@@ -109,11 +114,14 @@ const (
 // server mutex; event waiters block on the wait channel, which is closed
 // and replaced at every append (the queue's broadcast idiom).
 type grid struct {
-	id      string
-	preset  string
-	runner  *exp.Runner
-	par     int // the Par stamped on this grid's jobs (part of their keys)
-	created time.Time
+	id       string
+	preset   string
+	client   string // fair-share identity (header or submission field)
+	runner   *exp.Runner
+	par      int // the Par stamped on this grid's jobs (part of their keys)
+	created  time.Time
+	finished time.Time     // when the terminal event was appended (TTL anchor)
+	req      SubmitRequest // the admitted submission, persisted in the manifest
 
 	jobs  []*gridJob
 	byKey map[string]*gridJob
@@ -174,10 +182,13 @@ func (g *grid) finish(key string, res *harness.Result) {
 }
 
 // maybeFinishEvent appends the terminal grid record once every job has
-// an outcome.
+// an outcome, anchoring the TTL clock.
 func (g *grid) maybeFinishEvent() {
 	if !g.done() {
 		return
+	}
+	if g.finished.IsZero() {
+		g.finished = time.Now()
 	}
 	status := statusDone
 	if g.failed > 0 {
@@ -244,9 +255,10 @@ func submissionSpecs(req *SubmitRequest, r *exp.Runner) ([]exp.RunSpec, error) {
 }
 
 // handleSubmit admits one grid: store hits answer immediately, points
-// already in flight for another grid are joined, and only the genuinely
-// new points are queued — all-or-nothing, so a 429 leaves no partial
-// state behind.
+// already in flight for another grid are joined, duplicate points within
+// the submission coalesce onto one gridJob, and only the genuinely new
+// points are queued — all-or-nothing, so a 429 leaves no partial state
+// behind.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -254,6 +266,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad submission body: %v", err)
 		return
+	}
+	if req.Client == "" {
+		req.Client = r.Header.Get("X-Sweep-Client")
 	}
 	runner, err := s.newRunner(&req)
 	if err != nil {
@@ -300,14 +315,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	g := &grid{
 		id:      fmt.Sprintf("g%04d", s.seq),
 		preset:  req.Preset,
+		client:  req.Client,
 		runner:  runner,
 		par:     par,
 		created: time.Now(),
+		req:     req,
 		byKey:   make(map[string]*gridJob, len(jobs)),
 	}
 	var newTasks []*harness.Task
 	var joined []*flight
 	for _, j := range jobs {
+		// Coalesce duplicate keys within one submission onto a single
+		// gridJob. Without this, a repeated point would create two jobs
+		// but one byKey entry, both tasks would queue, the second flight
+		// registration would shadow the first, and the one watcher that
+		// fires could only ever complete one of the two — g.completed
+		// would never reach len(g.jobs) and the grid would hang (events
+		// streaming forever, /figure 409ing forever). The runner's Jobs
+		// also dedups today; admission must not hang if a job source
+		// doesn't.
+		if g.byKey[j.Key()] != nil {
+			g.coalesced++
+			continue
+		}
 		gj := &gridJob{job: j, status: statusPending}
 		g.jobs = append(g.jobs, gj)
 		g.byKey[j.Key()] = gj
@@ -327,7 +357,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			g.coalesced++
 			continue
 		}
-		newTasks = append(newTasks, harness.NewTask(context.Background(), j, exec, req.Priority))
+		t := harness.NewTask(context.Background(), j, exec, req.Priority)
+		t.Client = req.Client
+		newTasks = append(newTasks, t)
 	}
 	if err := s.queue.Push(newTasks...); err != nil {
 		// Nothing registered yet: the rejected submission leaves no grid,
@@ -365,29 +397,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	g.maybeFinishEvent()
 	status := s.gridStatusLocked(g)
 	s.mu.Unlock()
+	s.persist(g) // durable from admission on: a restart re-enqueues the remainder
 	writeJSON(w, http.StatusAccepted, status)
 }
 
-// watch waits for one flight's task and fans its result out to every
-// grid that joined it.
+// watch waits for one flight's task, fans its result out to every grid
+// that joined it, and persists those grids' manifests.
 func (s *Server) watch(key string, t *harness.Task) {
 	<-t.Done()
 	res := t.Result()
+	var touched []*grid
 	s.mu.Lock()
 	f := s.flights[key]
 	delete(s.flights, key)
 	if f != nil {
 		for g := range f.grids {
 			g.finish(key, &res)
+			touched = append(touched, g)
 		}
 	}
 	s.mu.Unlock()
+	s.persist(touched...)
 }
 
 // GridStatus is the submission/status body.
 type GridStatus struct {
 	ID        string      `json:"id"`
 	Preset    string      `json:"preset,omitempty"`
+	Client    string      `json:"client,omitempty"`
 	Created   time.Time   `json:"created"`
 	Total     int         `json:"total"`
 	Completed int         `json:"completed"`
@@ -409,7 +446,7 @@ type JobStatus struct {
 
 func (s *Server) gridStatusLocked(g *grid) GridStatus {
 	st := GridStatus{
-		ID: g.id, Preset: g.preset, Created: g.created,
+		ID: g.id, Preset: g.preset, Client: g.client, Created: g.created,
 		Total: len(g.jobs), Completed: g.completed, Failed: g.failed,
 		Stored: g.stored, Coalesced: g.coalesced, Done: g.done(),
 	}
@@ -513,6 +550,11 @@ func (s *Server) handleGridResults(w http.ResponseWriter, r *http.Request) {
 	if g == nil {
 		return
 	}
+	// Snapshot identities and result pointers under the lock; the
+	// per-job Summary() computation — seconds of work for a large grid —
+	// runs after release, so a results render never stalls submissions
+	// and event appends server-wide. Safe because results are immutable
+	// once recorded: finish() sets gj.res exactly once.
 	s.mu.Lock()
 	if !g.done() {
 		st := s.gridStatusLocked(g)
@@ -527,22 +569,26 @@ func (s *Server) handleGridResults(w http.ResponseWriter, r *http.Request) {
 		Failed  int         `json:"failed"`
 		Results []JobResult `json:"results"`
 	}{ID: g.id, Preset: g.preset, Total: len(g.jobs), Failed: g.failed}
+	snap := make([]*harness.Result, 0, len(g.jobs))
 	for _, gj := range g.jobs {
-		jr := JobResult{
+		out.Results = append(out.Results, JobResult{
 			ID: gj.job.ID, Key: gj.job.Key(), Workload: gj.job.Workload,
 			Seed: gj.job.Seed, Par: gj.job.Par, Status: gj.status,
-		}
-		if gj.res != nil {
-			jr.Err = gj.res.Err
-			jr.WallNS = gj.res.WallNS
-			if gj.res.Stats != nil {
-				sum := gj.res.Stats.Summary()
-				jr.Summary = &sum
-			}
-		}
-		out.Results = append(out.Results, jr)
+		})
+		snap = append(snap, gj.res)
 	}
 	s.mu.Unlock()
+	for i, res := range snap {
+		if res == nil {
+			continue
+		}
+		out.Results[i].Err = res.Err
+		out.Results[i].WallNS = res.WallNS
+		if res.Stats != nil {
+			sum := res.Stats.Summary()
+			out.Results[i].Summary = &sum
+		}
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -561,6 +607,10 @@ func (s *Server) handleGridFigure(w http.ResponseWriter, r *http.Request) {
 	failed := g.failed
 	runner := g.runner
 	par := g.par
+	keys := make([]string, 0, len(g.jobs))
+	for _, gj := range g.jobs {
+		keys = append(keys, gj.job.Key())
+	}
 	s.mu.Unlock()
 	if preset == "" {
 		writeError(w, http.StatusBadRequest, "grid %s was not submitted as a figure preset", g.id)
@@ -573,6 +623,19 @@ func (s *Server) handleGridFigure(w http.ResponseWriter, r *http.Request) {
 	if failed > 0 {
 		writeError(w, http.StatusConflict, "grid %s has %d failed points; no table", g.id, failed)
 		return
+	}
+	// Every point must still resolve in the store: if one was pruned
+	// since the grid finished (Cache.PruneOlderThan, or an operator
+	// sweeping the store directly), exp.Drive below would silently
+	// re-simulate it inside this handler with no timeout. Refuse instead.
+	if s.cache != nil {
+		for _, key := range keys {
+			if _, ok := s.cache.Get(key); !ok {
+				writeError(w, http.StatusGone,
+					"results evicted — stored result for %q is no longer in the store; resubmit the grid", key)
+				return
+			}
+		}
 	}
 	// Assemble through a cache-backed pool stamping the grid's own Par
 	// (Par is part of the cache key): every grid point hits the store, so

@@ -43,22 +43,34 @@ type Options struct {
 	// WrapExec, when non-nil, wraps every submission's executor — a test
 	// hook for gating and counting executions.
 	WrapExec func(harness.Executor) harness.Executor
+	// GridTTL, when positive, retires finished grids (and their
+	// manifests) once they have been done for this long. Zero disables
+	// eviction.
+	GridTTL time.Duration
+	// ClientWeights sets per-client fair-share weights on the queue
+	// (unlisted clients get weight 1). Server-side policy, not taken from
+	// submissions.
+	ClientWeights map[string]int
 }
 
 // Server is the sweepd daemon state: an http.Handler plus the Run loop
 // that drives the worker pool.
 type Server struct {
-	pool  *harness.Pool
-	queue *harness.Queue
-	cache *harness.Cache
-	wrap  func(harness.Executor) harness.Executor
-	build *harness.BuildCache
-	mux   *http.ServeMux
+	pool        *harness.Pool
+	queue       *harness.Queue
+	cache       *harness.Cache
+	wrap        func(harness.Executor) harness.Executor
+	build       *harness.BuildCache
+	mux         *http.ServeMux
+	manifestDir string        // "" when no cache: grids stay memory-only
+	gridTTL     time.Duration // 0 = finished grids never expire
 
 	mu       sync.Mutex
 	grids    map[string]*grid
 	flights  map[string]*flight // cache key -> in-flight task
 	seq      int
+	evicted  int // finished grids retired by the TTL janitor
+	restored int // grids reloaded from manifests at startup
 	draining bool
 }
 
@@ -71,7 +83,10 @@ type flight struct {
 
 // New builds a server over the given pool. The pool's cache and trace
 // directory become the shared stores; running the returned server
-// requires calling Run (the HTTP handler only enqueues).
+// requires calling Run (the HTTP handler only enqueues). When a result
+// store is attached, grid manifests persist beside it and any manifests
+// already on disk are restored — so a rebuilt server over the same
+// store keeps serving its predecessor's grids.
 func New(opts Options) (*Server, error) {
 	if opts.Pool == nil {
 		return nil, errors.New("server: Options.Pool is required")
@@ -81,9 +96,20 @@ func New(opts Options) (*Server, error) {
 		queue:   harness.NewQueue(opts.QueueCap),
 		cache:   opts.Pool.Cache(),
 		wrap:    opts.WrapExec,
+		gridTTL: opts.GridTTL,
 		build:   harness.NewBuildCache(),
 		grids:   make(map[string]*grid),
 		flights: make(map[string]*flight),
+	}
+	s.queue.SetWeights(opts.ClientWeights)
+	if s.cache != nil {
+		// Manifests live beside the result store. A subdirectory is safe:
+		// the cache's own scan globs *.json non-recursively.
+		dir := filepath.Join(s.cache.Dir(), "manifests")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: creating manifest dir: %w", err)
+		}
+		s.manifestDir = dir
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/grids", s.handleSubmit)
@@ -97,8 +123,12 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
 	mux.HandleFunc("POST /api/v1/shutdown", s.handleShutdown)
 	s.mux = mux
+	s.restored = s.loadManifests()
 	return s, nil
 }
+
+// Restored reports how many grids New reloaded from on-disk manifests.
+func (s *Server) Restored() int { return s.restored }
 
 // ServeHTTP dispatches to the API routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -108,7 +138,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Run drives the worker pool from the queue until Shutdown has been
 // called and the in-flight jobs have drained, or ctx is canceled (the
 // hard path: in-flight simulations are interrupted and left uncached).
+// When a grid TTL is configured the janitor runs alongside the workers.
 func (s *Server) Run(ctx context.Context) error {
+	if s.gridTTL > 0 {
+		jctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		go s.janitor(jctx)
+	}
 	err := s.pool.Serve(ctx, s.queue)
 	if err != nil && ctx.Err() != nil {
 		return fmt.Errorf("server: interrupted: %w", err)
@@ -227,6 +263,7 @@ type storeStats struct {
 	Traces  *traceStoreStats    `json:"traces,omitempty"`
 	Builds  int                 `json:"workload_builds"`
 	Flights int                 `json:"in_flight"`
+	Grids   gridStoreStats      `json:"grids"`
 	Queue   queueStats          `json:"queue"`
 	Totals  harness.Totals      `json:"totals"`
 }
@@ -236,10 +273,20 @@ type traceStoreStats struct {
 	TotalBytes int64 `json:"total_bytes"`
 }
 
+// gridStoreStats reports the grid map's lifecycle: how many grids are
+// live, how many the TTL janitor has retired, and the configured TTL.
+type gridStoreStats struct {
+	Active     int     `json:"active"`
+	Restored   int     `json:"restored"`
+	Evicted    int     `json:"evicted"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
 type queueStats struct {
-	Pending int `json:"pending"`
-	Cap     int `json:"cap"`
-	Workers int `json:"workers"`
+	Pending  int            `json:"pending"`
+	Cap      int            `json:"cap"`
+	Workers  int            `json:"workers"`
+	ByClient map[string]int `json:"by_client,omitempty"`
 }
 
 func (s *Server) handleStores(w http.ResponseWriter, r *http.Request) {
@@ -265,8 +312,15 @@ func (s *Server) handleStores(w http.ResponseWriter, r *http.Request) {
 	st.Builds = s.build.Len()
 	s.mu.Lock()
 	st.Flights = len(s.flights)
+	st.Grids = gridStoreStats{
+		Active: len(s.grids), Restored: s.restored, Evicted: s.evicted,
+		TTLSeconds: s.gridTTL.Seconds(),
+	}
 	s.mu.Unlock()
-	st.Queue = queueStats{Pending: s.queue.Len(), Cap: s.queue.Cap(), Workers: s.pool.Workers()}
+	st.Queue = queueStats{
+		Pending: s.queue.Len(), Cap: s.queue.Cap(), Workers: s.pool.Workers(),
+		ByClient: s.queue.PendingByClient(),
+	}
 	st.Totals = s.pool.Reporter().Totals()
 	writeJSON(w, http.StatusOK, st)
 }

@@ -43,19 +43,28 @@ type env struct {
 	ts     *httptest.Server
 	pool   *harness.Pool
 	cache  *harness.Cache
+	dir    string // the result-store directory (shared across restarts)
 	runErr chan error
+	stop   func() // idempotent: close the listener and cancel Run
 }
 
 // start brings up a server over a fresh cache, serving until the test
 // ends. Extra configuration is applied to the options before New.
 func start(t *testing.T, mutate func(*server.Options)) *env {
 	t.Helper()
-	cache, err := harness.OpenCache(t.TempDir())
+	return startDir(t, t.TempDir(), mutate)
+}
+
+// startDir is start over a caller-owned store directory, so restart
+// tests can bring up a second daemon on the same store.
+func startDir(t *testing.T, dir string, mutate func(*server.Options)) *env {
+	t.Helper()
+	cache, err := harness.OpenCache(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := server.Options{}
-	e := &env{cache: cache, runErr: make(chan error, 1)}
+	e := &env{cache: cache, dir: dir, runErr: make(chan error, 1)}
 	if mutate != nil {
 		// mutate may install its own pool (different cache or tracing).
 		mutate(&opts)
@@ -73,10 +82,14 @@ func start(t *testing.T, mutate func(*server.Options)) *env {
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() { e.runErr <- srv.Run(ctx) }()
 	e.ts = httptest.NewServer(srv)
-	t.Cleanup(func() {
-		e.ts.Close()
-		cancel()
-	})
+	var once sync.Once
+	e.stop = func() {
+		once.Do(func() {
+			e.ts.Close()
+			cancel()
+		})
+	}
+	t.Cleanup(e.stop)
 	return e
 }
 
