@@ -73,6 +73,7 @@ func main() {
 	suite := flag.String("suite", "", "comma-separated workload subset for the policy figures (default: the full 11-workload suite)")
 	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = one per CPU")
 	par := flag.Int("par", 1, "intra-run parallelism: event-engine workers per simulation (execution capped at GOMAXPROCS/-jobs, cache keys keep the requested value; results are byte-identical at any value)")
+	spec := flag.Bool("spec", true, "speculative hub-light epochs in the multi-domain engine (results are byte-identical either way; -spec=false forces conservative horizons)")
 	timeout := flag.Duration("timeout", 0, "per-simulation wall-time limit (e.g. 30m); 0 = none")
 	cacheDir := flag.String("cachedir", "", "on-disk result cache directory (enables resumable sweeps)")
 	resume := flag.Bool("resume", false, "reuse cached results from an earlier (possibly interrupted) sweep; implies -cachedir "+defaultCacheDir+" when unset")
@@ -168,7 +169,9 @@ func main() {
 
 	// The shared base (Table 1 defaults + the anti-thrash cycle cap) comes
 	// from exp so sweepd submissions reproduce these grids byte for byte.
-	r := exp.NewRunner(p, exp.DefaultBase())
+	base := exp.DefaultBase()
+	base.NoSpeculation = !*spec
+	r := exp.NewRunner(p, base)
 	r.Pool = pool
 	r.Par = pool.Par()
 	r.Ctx = ctx

@@ -34,9 +34,11 @@ func summaryJSON(t *testing.T, s *metrics.Stats) string {
 
 // TestParallelismByteIdentity is the tentpole's correctness contract: for
 // every workload, metrics.Summary is byte-identical between sequential
-// execution (par=1) and multi-worker execution. The conservative engine
-// guarantees this by construction — epochs merge cross-domain events in a
-// canonical total order — so any divergence is a domain-isolation bug.
+// execution (par=1) and multi-worker execution — and across every
+// delivery path the engine owns: speculative hub-light epochs on or off,
+// fused same-group inserts on or off. Explicit event keys fix the total
+// order (cycle, source domain, send sequence) at send time, so any
+// divergence between legs is a domain-isolation or delivery bug.
 func TestParallelismByteIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full simulations in -short mode")
@@ -61,26 +63,52 @@ func TestParallelismByteIdentity(t *testing.T) {
 		v := v
 		t.Run(fmt.Sprintf("%s@%g", v.name, v.ratio), func(t *testing.T) {
 			t.Parallel()
-			cfg := config.Default()
-			cfg.MaxCycles = 2_000_000_000
-			cfg.UVM.OversubscriptionRatio = v.ratio
+			legs := []struct {
+				name    string
+				par     int
+				noSpec  bool
+				unfused bool
+			}{
+				{"par1", 1, false, false},
+				{"par2", 2, false, false},
+				{"par4", 4, false, false},
+				{"par8", 8, false, false},
+				{"par1-nospec", 1, true, false},
+				{"par4-nospec", 4, true, false},
+				{"par4-unfused", 4, false, true},
+			}
 			var ref string
-			for _, par := range []int{1, 2, 4} {
+			for _, l := range legs {
+				cfg := config.Default()
+				cfg.MaxCycles = 2_000_000_000
+				cfg.UVM.OversubscriptionRatio = v.ratio
+				cfg.NoSpeculation = l.noSpec
 				w, err := workload.Build(v.name, p)
 				if err != nil {
 					t.Fatal(err)
 				}
-				stats, err := RunParallel(cfg, w, par)
+				var stats *metrics.Stats
+				if l.unfused {
+					m, merr := NewMachine(cfg, w)
+					if merr != nil {
+						t.Fatal(merr)
+					}
+					m.Sys.SetFused(false)
+					m.SetParallelism(l.par)
+					stats, err = m.Run()
+				} else {
+					stats, err = RunParallel(cfg, w, l.par)
+				}
 				if err != nil {
-					t.Fatalf("par=%d: %v", par, err)
+					t.Fatalf("%s: %v", l.name, err)
 				}
 				got := summaryJSON(t, stats)
-				if par == 1 {
+				if l.name == "par1" {
 					ref = got
 					continue
 				}
 				if got != ref {
-					t.Errorf("par=%d summary diverged from par=1\npar=1: %s\npar=%d: %s", par, ref, par, got)
+					t.Errorf("%s summary diverged from par1\npar1: %s\n%s: %s", l.name, ref, l.name, got)
 				}
 			}
 		})
@@ -89,35 +117,39 @@ func TestParallelismByteIdentity(t *testing.T) {
 
 // TestFixedEpochsByteIdentity covers the adaptive-widening escape hatch:
 // with Config.FixedEpochs the machine pins every epoch to the classic
-// lookahead horizon, and worker-count byte-identity must hold there just
-// as it does in the adaptive default. (The two modes are distinct result
-// universes — same-cycle cross-domain ties can merge in different epochs
-// — so their summaries are not compared to each other.)
+// lookahead horizon. Since explicit event keys fixed the tie order at
+// send time, fixed and adaptive epochs are one result universe — the
+// fixed-epoch runs must reproduce the adaptive reference byte for byte,
+// at every worker count.
 func TestFixedEpochsByteIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full simulations in -short mode")
 	}
 	p := parParams()
-	cfg := config.Default()
-	cfg.MaxCycles = 2_000_000_000
-	cfg.FixedEpochs = true
 	var ref string
-	for _, par := range []int{1, 4} {
+	for i, leg := range []struct {
+		fixed bool
+		par   int
+	}{{false, 1}, {true, 1}, {true, 4}} {
+		cfg := config.Default()
+		cfg.MaxCycles = 2_000_000_000
+		cfg.FixedEpochs = leg.fixed
 		w, err := workload.Build("BFS-TTC", p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		stats, err := RunParallel(cfg, w, par)
+		stats, err := RunParallel(cfg, w, leg.par)
 		if err != nil {
-			t.Fatalf("par=%d: %v", par, err)
+			t.Fatalf("fixed=%v par=%d: %v", leg.fixed, leg.par, err)
 		}
 		got := summaryJSON(t, stats)
-		if par == 1 {
+		if i == 0 {
 			ref = got
 			continue
 		}
 		if got != ref {
-			t.Errorf("FixedEpochs par=%d summary diverged from par=1\npar=1: %s\npar=%d: %s", par, ref, par, got)
+			t.Errorf("fixed=%v par=%d summary diverged from the adaptive par=1 reference\nref: %s\ngot: %s",
+				leg.fixed, leg.par, ref, got)
 		}
 	}
 }
@@ -148,10 +180,11 @@ func TestAdaptiveEpochsReduceBarriers(t *testing.T) {
 	if adaptiveEpochs >= fixedEpochs {
 		t.Errorf("adaptive epochs = %d, fixed = %d: widening bought nothing", adaptiveEpochs, fixedEpochs)
 	}
-	// Both modes execute the same simulation work; only barrier placement
-	// (and with it same-cycle cross-domain tie order) may differ.
+	// Both modes execute the same simulation work: barrier placement moves,
+	// but the explicit-key total order — and with it every dispatched event
+	// — is identical.
 	if adaptiveDispatched != fixedDispatched {
-		t.Logf("dispatched: adaptive=%d fixed=%d (tie-order divergence, informational)",
+		t.Errorf("dispatched: adaptive=%d fixed=%d, want identical (one result universe)",
 			adaptiveDispatched, fixedDispatched)
 	}
 }

@@ -28,7 +28,7 @@ import (
 // simulation semantics change (new mechanisms, timing fixes), so cache
 // entries written by an older simulator are never mistaken for current
 // results.
-const resultsVersion = 4 // v4: adaptive epoch widening reorders same-cycle cross-domain ties vs v3's fixed epochs
+const resultsVersion = 5 // v5: explicit (cycle, src, seq) event keys fix one schedule-independent tie order (fused delivery + speculation), reordering some same-cycle ties vs v4
 
 // Table is a rendered experiment result.
 type Table struct {

@@ -184,6 +184,15 @@ func New(sys *sim.System, cfg *config.Config, stats *metrics.Stats, pt *vm.PageT
 	if sys.Lookahead() > cfg.Lookahead() {
 		panic(fmt.Sprintf("gpu: system lookahead %d exceeds config minimum %d", sys.Lookahead(), cfg.Lookahead()))
 	}
+	// The cluster's messaging is a strict star: shards talk only to the
+	// hub (faults, dirty notices, runahead, block completion) and the hub
+	// only to shards (launches, page arrivals, invalidations, translation
+	// answers). If the machine declared a hub for speculative epochs it
+	// must be this one — shard-to-shard traffic under a wrong declaration
+	// would be an unrecoverable speculation violation.
+	if h := sys.Hub(); h >= 0 && h != nd {
+		panic(fmt.Sprintf("gpu: system hub is domain %d, cluster hub is %d", h, nd))
+	}
 	hub := nd
 	eng := sys.Engine(hub)
 	c := &Cluster{

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleMetrics serves the daemon's operational counters in the
+// Prometheus text exposition format (version 0.0.4), so a scraper — or a
+// human with curl — can watch queue depth, per-client backlog, grid
+// lifecycle, and pool throughput without parsing the richer JSON under
+// /api/v1/stores. Counters are cumulative since process start except
+// where the restore machinery carries them across restarts (grids
+// restored from manifests).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	grids := len(s.grids)
+	restored := s.restored
+	evicted := s.evicted
+	flights := len(s.flights)
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+
+	byClient := s.queue.PendingByClient()
+	clients := make([]string, 0, len(byClient))
+	for c := range byClient {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	tot := s.pool.Reporter().Totals()
+
+	var b strings.Builder
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	gauge("sweepd_queue_pending", "Jobs admitted but not yet running.", s.queue.Len())
+	gauge("sweepd_queue_cap", "Pending-job capacity (0 = unbounded).", s.queue.Cap())
+	b.WriteString("# HELP sweepd_queue_pending_by_client Pending jobs per submitting client.\n")
+	b.WriteString("# TYPE sweepd_queue_pending_by_client gauge\n")
+	for _, c := range clients {
+		fmt.Fprintf(&b, "sweepd_queue_pending_by_client{client=\"%s\"} %d\n", escapeLabel(c), byClient[c])
+	}
+	gauge("sweepd_workers", "Worker goroutines in the simulation pool.", s.pool.Workers())
+	gauge("sweepd_grids_active", "Grids currently tracked (running or finished, not yet evicted).", grids)
+	counter("sweepd_grids_restored_total", "Grids reloaded from on-disk manifests at startup.", restored)
+	counter("sweepd_grids_evicted_total", "Finished grids retired by the TTL janitor.", evicted)
+	gauge("sweepd_flights_inflight", "Distinct cache keys currently being simulated.", flights)
+	counter("sweepd_jobs_submitted_total", "Jobs handed to the pool.", tot.Submitted)
+	counter("sweepd_jobs_done_total", "Jobs finished successfully (fresh runs).", tot.Done)
+	counter("sweepd_jobs_failed_total", "Jobs that ended in an error.", tot.Failed)
+	counter("sweepd_jobs_cached_total", "Jobs served from the result store.", tot.Cached)
+	counter("sweepd_job_wall_seconds_total", "Summed executor wall time of fresh runs.", tot.WallSum.Seconds())
+	gauge("sweepd_draining", "1 while a graceful shutdown drain is in progress.", draining)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
+}
+
+// escapeLabel makes an arbitrary client string safe inside a Prometheus
+// label value. %q adds the quotes and escapes " and \; newlines become
+// the literal \n the format requires.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, "\\", `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}

@@ -1,0 +1,81 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint exercises the Prometheus text endpoint across a
+// grid's lifecycle: the scrape must parse as "name value" lines, expose
+// the queue/grid/pool families, and reflect completed work in the
+// counters.
+func TestMetricsEndpoint(t *testing.T) {
+	e := start(t, nil)
+	st := e.submit(t, tinyBody())
+	e.await(t, st.ID)
+
+	resp, err := http.Get(e.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics returned %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	samples := make(map[string]string)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || value == "" {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		samples[name] = value
+	}
+
+	for _, want := range []string{
+		"sweepd_queue_pending",
+		"sweepd_queue_cap",
+		"sweepd_workers",
+		"sweepd_grids_active",
+		"sweepd_grids_restored_total",
+		"sweepd_grids_evicted_total",
+		"sweepd_flights_inflight",
+		"sweepd_jobs_submitted_total",
+		"sweepd_jobs_done_total",
+		"sweepd_jobs_failed_total",
+		"sweepd_jobs_cached_total",
+		"sweepd_job_wall_seconds_total",
+		"sweepd_draining",
+	} {
+		if _, ok := samples[want]; !ok {
+			t.Errorf("metric %s missing from scrape:\n%s", want, text)
+		}
+	}
+	// The grid finished: its two jobs are in the counters, nothing queued.
+	if got := samples["sweepd_jobs_submitted_total"]; got != "2" {
+		t.Errorf("sweepd_jobs_submitted_total = %s, want 2", got)
+	}
+	if got := samples["sweepd_queue_pending"]; got != "0" {
+		t.Errorf("sweepd_queue_pending = %s, want 0 after drain", got)
+	}
+	if got := samples["sweepd_grids_active"]; got != "1" {
+		t.Errorf("sweepd_grids_active = %s, want 1", got)
+	}
+	if got := samples["sweepd_draining"]; got != "0" {
+		t.Errorf("sweepd_draining = %s, want 0", got)
+	}
+}

@@ -121,6 +121,7 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /api/v1/traces", s.handleTrace)
 	mux.HandleFunc("GET /api/v1/stores", s.handleStores)
 	mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /api/v1/shutdown", s.handleShutdown)
 	s.mux = mux
 	s.restored = s.loadManifests()

@@ -8,25 +8,43 @@ import (
 
 // System is a conservative, lookahead-bounded parallel discrete-event
 // scheduler over a fixed set of synchronization domains, each with its own
-// Engine. Cross-domain events go through Send/SendArg into per-edge
-// mailboxes; the system executes epochs and merges mailboxes at epoch
-// barriers in the fixed total order (cycle, source domain, source
-// sequence). Because every cross-domain delivery lands strictly after the
-// epoch that produced it, domains can execute an epoch concurrently
-// without ever observing each other mid-epoch — and because the merge
-// order is a pure function of the per-domain event streams, results are
-// byte-identical at any worker count, including fully inline execution
-// (workers <= 1).
+// Engine. Cross-domain events go through Send/SendArg; the system executes
+// epochs and delivers messages so that every domain dispatches in the
+// fixed total order (cycle, source domain, source sequence).
+//
+// That order is carried by explicit event keys (see engine.go): every
+// scheduling action by domain d — self-schedule or cross-domain send —
+// takes the next key from d's counter, and engines dispatch by (cycle,
+// key). Because the key is assigned at *send* time, not at insertion time,
+// the dispatch order is a pure function of the per-domain event streams:
+// it does not matter whether a message reaches the destination heap
+// directly (fused same-group insertion), at an epoch barrier (mailbox
+// flush), or after a speculation rollback. Results are therefore
+// byte-identical at any worker count, under fixed or adaptive epochs, and
+// with speculation on or off.
+//
+// Three delivery paths exist, fastest first:
+//
+//   - Fused: src and dst belong to the same static worker group (see
+//     SetWorkers; the hub domain is pinned with its first shard, its
+//     hottest edge). The send inserts directly into dst's heap — no
+//     buffering, no barrier work. Safe because one goroutine executes a
+//     whole group, and conservatism guarantees the delivery lies past
+//     dst's horizon for the running epoch.
+//   - Mailbox: cross-group sends append to per-edge chunks and are
+//     drained at the barrier straight into the destination heap — no
+//     sorting or merging, the keys already encode the canonical order.
+//   - Speculative: with a declared hub (SetHub), shard domains may run
+//     past the conservative horizon while the hub is quiet, under a
+//     commit barrier that validates no late message landed inside the
+//     executed window (see validateSpec).
 //
 // Epoch widths are adaptive by default (see SetAdaptive): the earliest
 // domain may run past the `lookahead` horizon up to the second-earliest
 // domain's lookahead bound, and a domain that is alone in having pending
 // events runs until its own outgoing sends could first provoke a reply.
-// Both rules are conservative — no domain ever executes an event a
-// not-yet-merged message could precede — so determinism across worker
-// counts is unaffected. Adaptive and fixed scheduling can, however, merge
-// same-cycle ties from different sources in different epochs, so the two
-// modes are distinct result universes; pick one per experiment series.
+// All widening rules are conservative — no domain ever executes an event
+// a not-yet-delivered message could precede.
 //
 // The contract components must follow:
 //
@@ -38,10 +56,36 @@ import (
 // The epoch barrier provides the happens-before edge for ownership
 // handoff: a struct pointer sent through a mailbox may be mutated by the
 // receiving domain, as long as the sender stops touching it once sent.
+// Fused delivery keeps the same guarantee degenerately: sender and
+// receiver share a goroutine.
 type System struct {
 	lookahead Cycle
 	adaptive  bool
 	engines   []*Engine
+
+	// Fused-group state. group[d] is the static worker group owning
+	// domain d; same-group cross-domain sends insert directly into the
+	// destination engine, skipping the mailbox. Rebuilt by SetWorkers and
+	// SetHub: the hub is pinned to group 0 together with the first
+	// non-hub domain (its hottest edge), remaining domains round-robin.
+	group   []int32
+	nGroups int
+	fused   bool
+
+	// Speculation state. hub is the declared star-topology center (-1:
+	// none): every cross-domain message flows shard<->hub, which is what
+	// makes hub-light widening provably conservative. specOn marks the
+	// domains whose horizon was raised past the conservative bound this
+	// epoch; their traffic is forced through (retractable) mailboxes.
+	hub     int32
+	spec    bool
+	specOn  []bool
+	specAny bool
+	ckpt    Checkpointer
+	snaps   []engineSnapshot
+
+	specEpochs     uint64
+	specViolations uint64
 
 	// Mailboxes are per-edge chunks: boxes[src*n+dst] is appended in src
 	// execution order, and outDirty[src] lists the destinations src has
@@ -57,27 +101,38 @@ type System struct {
 	minOut []Cycle
 
 	// The active set: domains with pending events, maintained
-	// incrementally (flush activates delivery targets, the epoch loop
-	// retires drained engines) so per-epoch work is O(active), not
-	// O(domains).
+	// incrementally (delivery activates targets, the epoch loop retires
+	// drained engines) so per-epoch work is O(active), not O(domains).
 	active    []int32
 	activePos []int32 // domain -> index in active, -1 if inactive
+
+	// touched[g] collects domains whose engine went empty->nonempty via a
+	// fused insert during the epoch. Group g's worker is the only writer,
+	// so the lists are race-free; the coordinator drains them into the
+	// active set at the barrier.
+	touched [][]int32
 
 	// Per-epoch schedule, written by the coordinator before dispatch.
 	epochRun []int32 // domains executing this epoch
 	epochHi  []Cycle // per-domain horizon (inclusive)
 	bounded  int32   // domain running under the own-send bound, or -1
 
-	// Flush scratch, reused across barriers.
-	flushSrcs [][]int32 // per dst: sources with mail, ascending
-	flushDsts []int32
-	mergePos  []int
-
 	workers int // requested worker goroutines; <2 means inline execution
 
 	epochs uint64 // barriers executed; the overhead diagnostic
 
 	pool pool
+}
+
+// Checkpointer lets a model participate in speculative re-execution: the
+// system calls Checkpoint(d) before domain d runs a speculative epoch and
+// Restore(d) when a violation forces d back to that boundary. Models whose
+// topology honors the declared star (every message flows shard<->hub)
+// never see either call fail to matter — violations cannot occur — and
+// may skip attaching one; a violation with no Checkpointer panics.
+type Checkpointer interface {
+	Checkpoint(domain int)
+	Restore(domain int)
 }
 
 // Worker-pool lifecycle states. The pool starts lazily at the first
@@ -90,13 +145,13 @@ const (
 )
 
 // pool is the persistent epoch-worker machinery: one goroutine per
-// worker, each with its own run queue of domains, signaled once per
+// group, each with its own run queue of domains, signaled once per
 // epoch. The per-worker ready channels and the shared done channel carry
 // the happens-before edges between the coordinator's schedule writes,
 // the workers' engine execution, and the barrier merge.
 type pool struct {
 	state   int
-	width   int // goroutines started (workers at start time)
+	width   int // goroutines started (groups at start time)
 	ready   []chan struct{}
 	queues  [][]int32
 	pending atomic.Int32
@@ -104,9 +159,11 @@ type pool struct {
 	wg      sync.WaitGroup
 }
 
-// msg is one buffered cross-domain event.
+// msg is one buffered cross-domain event. key is the sender-assigned tie
+// order (see engine.go); the destination heap inserts it verbatim.
 type msg struct {
 	when  Cycle
+	key   uint64
 	fn    func()
 	argFn func(uint64)
 	arg   uint64
@@ -120,7 +177,8 @@ const MinLookahead = 4
 const maxCycle = ^Cycle(0)
 
 // NewSystem builds a system of n domains with the given lookahead.
-// Adaptive epoch widening starts enabled; see SetAdaptive.
+// Adaptive epoch widening, fused groups, and (once a hub is declared via
+// SetHub) speculative hub-light epochs all start enabled.
 func NewSystem(n int, lookahead Cycle) *System {
 	if n < 1 {
 		panic(fmt.Sprintf("sim: system needs at least one domain, got %d", n))
@@ -128,18 +186,22 @@ func NewSystem(n int, lookahead Cycle) *System {
 	if lookahead < 1 {
 		panic(fmt.Sprintf("sim: lookahead %d < 1", lookahead))
 	}
-	s := &System{lookahead: lookahead, adaptive: true, workers: 1, bounded: -1}
+	s := &System{lookahead: lookahead, adaptive: true, fused: true, spec: true, hub: -1, workers: 1, bounded: -1}
 	s.engines = make([]*Engine, n)
 	s.boxes = make([][]msg, n*n)
 	s.outDirty = make([][]int32, n)
 	s.minOut = make([]Cycle, n)
 	s.activePos = make([]int32, n)
 	s.epochHi = make([]Cycle, n)
-	s.flushSrcs = make([][]int32, n)
+	s.group = make([]int32, n)
+	s.specOn = make([]bool, n)
+	s.snaps = make([]engineSnapshot, n)
 	for i := range s.engines {
 		s.engines[i] = NewEngine()
+		s.engines[i].SetRank(i)
 		s.activePos[i] = -1
 	}
+	s.setGroups()
 	return s
 }
 
@@ -155,14 +217,66 @@ func (s *System) Domains() int { return len(s.engines) }
 func (s *System) Lookahead() Cycle { return s.lookahead }
 
 // SetAdaptive enables or disables adaptive epoch widening. Both modes are
-// conservative and byte-identical across worker counts, but they can
-// merge same-cycle ties from different source domains in different
-// epochs, so results are comparable only within one mode. Call before
-// running.
+// conservative, and — because dispatch order is fixed by explicit event
+// keys, not by epoch placement — byte-identical to each other and across
+// worker counts. The switch only trades barrier count for horizon
+// bookkeeping. Call before running.
 func (s *System) SetAdaptive(on bool) { s.adaptive = on }
 
 // Adaptive reports whether adaptive epoch widening is enabled.
 func (s *System) Adaptive() bool { return s.adaptive }
+
+// SetFused enables or disables the fused same-group direct-insertion fast
+// path. Results are identical either way; disabling is an escape hatch for
+// diagnosing the delivery machinery itself. Call before running.
+func (s *System) SetFused(on bool) { s.fused = on }
+
+// Fused reports whether fused same-group delivery is enabled.
+func (s *System) Fused() bool { return s.fused }
+
+// SetHub declares domain h the star-topology center: models promise every
+// cross-domain message flows between h and a non-hub domain, never
+// shard-to-shard. The declaration pins h into worker group 0 (with its
+// first shard — the hottest edge) and arms hub-light speculative epochs.
+// Pass -1 to clear. Call before running; changing the hub while the
+// worker pool is live is not supported.
+func (s *System) SetHub(h int) {
+	if s.pool.state == poolRunning {
+		panic("sim: SetHub while the worker pool is running; Stop first")
+	}
+	if h >= len(s.engines) {
+		panic(fmt.Sprintf("sim: hub domain %d out of range (%d domains)", h, len(s.engines)))
+	}
+	if h < 0 {
+		h = -1
+	}
+	s.hub = int32(h)
+	s.setGroups()
+}
+
+// Hub returns the declared hub domain, or -1.
+func (s *System) Hub() int { return int(s.hub) }
+
+// SetSpeculative enables or disables hub-light speculative epochs. Inert
+// until a hub is declared via SetHub. Results are identical either way —
+// speculation only changes how many barriers the run needs — so this is a
+// diagnostic/verification knob, not a result-universe switch.
+func (s *System) SetSpeculative(on bool) { s.spec = on }
+
+// Speculative reports whether hub-light speculation is enabled.
+func (s *System) Speculative() bool { return s.spec }
+
+// SetCheckpointer attaches the model hook that makes speculation
+// violations recoverable. Star-honoring models do not need one.
+func (s *System) SetCheckpointer(c Checkpointer) { s.ckpt = c }
+
+// SpecEpochs returns the number of epochs in which at least one domain ran
+// past its conservative horizon.
+func (s *System) SpecEpochs() uint64 { return s.specEpochs }
+
+// SpecViolations returns the number of speculation violations detected
+// (and recovered via rollback).
+func (s *System) SpecViolations() uint64 { return s.specViolations }
 
 // SetWorkers sets the number of goroutines that execute epochs. Values
 // below 2 select inline execution on the caller's goroutine; results are
@@ -182,10 +296,41 @@ func (s *System) SetWorkers(n int) {
 		n = len(s.engines)
 	}
 	s.workers = n
+	s.setGroups()
 }
 
 // Workers returns the effective worker count.
 func (s *System) Workers() int { return s.workers }
+
+// setGroups rebuilds the static domain->group partition: the hub (if any)
+// is pinned to group 0, and the remaining domains round-robin across
+// groups in index order — so the first non-hub domain shares group 0 with
+// the hub, fusing the hub's hottest edge. With one group (workers <= 1)
+// every send fuses and the sharded model degenerates to a single keyed
+// heap, which is what erases the w1 tax.
+func (s *System) setGroups() {
+	ng := s.workers
+	if ng > len(s.engines) {
+		ng = len(s.engines)
+	}
+	if ng < 1 {
+		ng = 1
+	}
+	s.nGroups = ng
+	j := 0
+	for d := range s.group {
+		if int32(d) == s.hub {
+			s.group[d] = 0
+			continue
+		}
+		s.group[d] = int32(j % ng)
+		j++
+	}
+	for len(s.touched) < ng {
+		s.touched = append(s.touched, nil)
+	}
+	s.touched = s.touched[:ng]
+}
 
 // checkSend validates a cross-domain delivery time against the lookahead
 // contract. Violations always indicate a modeling bug, so they panic.
@@ -197,16 +342,38 @@ func (s *System) checkSend(src int, when Cycle) {
 }
 
 // post appends one message to the src->dst mailbox, maintaining the
-// dirty-edge list and the sender's earliest-outgoing-delivery watermark.
+// dirty-edge list.
 func (s *System) post(src, dst int, m msg) {
 	box := src*len(s.engines) + dst
 	if len(s.boxes[box]) == 0 {
 		s.outDirty[src] = append(s.outDirty[src], int32(dst))
 	}
 	s.boxes[box] = append(s.boxes[box], m)
-	if m.when < s.minOut[src] {
-		s.minOut[src] = m.when
+}
+
+// fusable reports whether a src->dst send may bypass the mailbox: fused
+// delivery on, same static group (one goroutine owns both engines), and
+// neither end speculating — a speculating domain's traffic must stay in
+// retractable mailboxes so a rollback can retract its sends and a restore
+// cannot lose its receipts.
+func (s *System) fusable(src, dst int) bool {
+	return s.fused && s.group[src] == s.group[dst] &&
+		!(s.specAny && (s.specOn[src] || s.specOn[dst]))
+}
+
+// insertFused places a send directly into the destination heap, recording
+// the empty->nonempty transition on the owning group's touched list so the
+// coordinator can activate dst at the barrier. Conservatism guarantees the
+// delivery lies past dst's horizon for the running epoch, so dst — even if
+// it already ran, or runs later on the same goroutine — cannot dispatch it
+// early.
+func (s *System) insertFused(src, dst int, m *msg) {
+	e := s.engines[dst]
+	if len(e.queue) == 0 {
+		g := s.group[src]
+		s.touched[g] = append(s.touched[g], int32(dst))
 	}
+	e.scheduleKeyed(m.when, m.key, m.fn, m.argFn, m.arg)
 }
 
 // Send schedules fn on domain dst at absolute cycle when. The delivery
@@ -217,7 +384,15 @@ func (s *System) Send(src, dst int, when Cycle, fn func()) {
 		return
 	}
 	s.checkSend(src, when)
-	s.post(src, dst, msg{when: when, fn: fn})
+	if when < s.minOut[src] {
+		s.minOut[src] = when
+	}
+	m := msg{when: when, key: s.engines[src].nextKey(), fn: fn}
+	if s.fusable(src, dst) {
+		s.insertFused(src, dst, &m)
+		return
+	}
+	s.post(src, dst, m)
 }
 
 // SendArg schedules argFn(arg) on domain dst at absolute cycle when; the
@@ -228,7 +403,15 @@ func (s *System) SendArg(src, dst int, when Cycle, argFn func(uint64), arg uint6
 		return
 	}
 	s.checkSend(src, when)
-	s.post(src, dst, msg{when: when, argFn: argFn, arg: arg})
+	if when < s.minOut[src] {
+		s.minOut[src] = when
+	}
+	m := msg{when: when, key: s.engines[src].nextKey(), argFn: argFn, arg: arg}
+	if s.fusable(src, dst) {
+		s.insertFused(src, dst, &m)
+		return
+	}
+	s.post(src, dst, m)
 }
 
 // activate adds domain d to the active set (no-op if present).
@@ -287,13 +470,18 @@ func (s *System) satHorizon(base, limit Cycle) Cycle {
 func (s *System) RunUntil(limit Cycle) bool {
 	// Deliver sends made while the system was quiescent: epochs only
 	// flush their own sends, and the schedule below must see these as
-	// engine events to pick the right first epoch.
+	// engine events to pick the right first epoch. Stale touched entries
+	// from quiescent fused sends are superseded by the rescan.
 	s.flush()
 	s.rebuildActive()
+	for g := range s.touched {
+		s.touched[g] = s.touched[g][:0]
+	}
 	for len(s.active) > 0 {
 		// min1/min2: the two earliest next-event times across active
 		// domains; arg is min1's domain. O(active) — inactive domains
-		// cannot act (nothing queued, and mail only lands at barriers).
+		// cannot act (nothing queued, and mail only lands at barriers or
+		// via fused inserts that activate them for the next epoch).
 		min1, min2 := maxCycle, maxCycle
 		arg := int32(-1)
 		for _, d := range s.active {
@@ -333,15 +521,58 @@ func (s *System) RunUntil(limit Cycle) bool {
 			}
 			s.bounded = arg
 		}
+		// Hub-light speculative horizon. With a declared star topology
+		// (every message flows shard<->hub), the hub cannot dispatch
+		// anything before H0 = min(its next queued event, min1+lookahead
+		// — the earliest any shard send could reach it), so no hub send
+		// can land before H0+lookahead and every shard may run to
+		// starHi = H0+lookahead-1. Shard-to-shard traffic would break
+		// the argument — that is exactly what the commit barrier
+		// validates (validateSpec).
+		starHi := Cycle(0)
+		if s.spec && s.hub >= 0 {
+			hubNext := maxCycle
+			if t, ok := s.engines[s.hub].NextTime(); ok {
+				hubNext = t
+			}
+			h0 := min1 + s.lookahead
+			if h0 < min1 { // overflow
+				h0 = maxCycle
+			}
+			if hubNext < h0 {
+				h0 = hubNext
+			}
+			starHi = s.satHorizon(h0, limit)
+		}
 		s.epochRun = s.epochRun[:0]
 		for _, d := range s.active {
 			hi := hiDefault
 			if d == arg {
 				hi = hiArg
 			}
+			spec := false
+			if d != s.hub && starHi > hi {
+				hi = starHi
+				spec = true
+			}
 			if t, _ := s.engines[d].NextTime(); t <= hi {
 				s.epochHi[d] = hi
 				s.epochRun = append(s.epochRun, d)
+				if spec {
+					s.specOn[d] = true
+					s.specAny = true
+				}
+			}
+		}
+		if s.specAny {
+			s.specEpochs++
+			if s.ckpt != nil {
+				for _, d := range s.epochRun {
+					if s.specOn[d] {
+						s.engines[d].snapshot(&s.snaps[d])
+						s.ckpt.Checkpoint(int(d))
+					}
+				}
 			}
 		}
 		s.epochs++
@@ -356,6 +587,19 @@ func (s *System) RunUntil(limit Cycle) bool {
 			if s.engines[d].Pending() == 0 {
 				s.deactivate(d)
 			}
+		}
+		for g := range s.touched {
+			for _, d := range s.touched[g] {
+				s.activate(d)
+			}
+			s.touched[g] = s.touched[g][:0]
+		}
+		if s.specAny {
+			s.validateSpec()
+			for _, d := range s.epochRun {
+				s.specOn[d] = false
+			}
+			s.specAny = false
 		}
 		s.flush()
 	}
@@ -431,7 +675,7 @@ func (s *System) Pending() int {
 }
 
 // Epochs returns the number of epoch barriers executed — the per-run
-// overhead diagnostic adaptive widening exists to shrink.
+// overhead diagnostic adaptive widening and speculation exist to shrink.
 func (s *System) Epochs() uint64 { return s.epochs }
 
 // Dispatched returns the total events dispatched across domains.
@@ -444,17 +688,18 @@ func (s *System) Dispatched() uint64 {
 }
 
 // runEpochParallel executes the epoch's domains on the persistent worker
-// pool: the schedule (epochRun, epochHi, bounded) is partitioned into
-// per-worker run queues, each participating worker is signaled once, and
-// the last to finish releases the barrier. Each worker runs whole
-// engines, so a domain's mailbox rows are written by exactly one
-// goroutine per epoch; the ready-channel handoff and the done signal give
-// the happens-before edges that make the merge race-free.
+// pool. Domains are partitioned by their *static* group — worker g owns
+// exactly group g's domains every epoch — so fused same-group inserts
+// always happen on the goroutine that owns both engines. Only workers
+// with a non-empty queue are signaled; if a single group holds the whole
+// epoch, it runs inline on the coordinator. The ready-channel handoff and
+// the done signal give the happens-before edges that make the barrier
+// race-free.
 func (s *System) runEpochParallel() {
 	p := &s.pool
 	if p.state == poolNew {
 		p.state = poolRunning
-		p.width = s.workers
+		p.width = s.nGroups
 		p.done = make(chan struct{})
 		p.ready = make([]chan struct{}, p.width)
 		p.queues = make([][]int32, p.width)
@@ -475,20 +720,32 @@ func (s *System) runEpochParallel() {
 			}()
 		}
 	}
-	nw := p.width
-	if nw > len(s.epochRun) {
-		nw = len(s.epochRun)
-	}
-	for w := 0; w < nw; w++ {
+	for w := 0; w < p.width; w++ {
 		p.queues[w] = p.queues[w][:0]
 	}
-	for i, d := range s.epochRun {
-		w := i % nw
-		p.queues[w] = append(p.queues[w], d)
+	for _, d := range s.epochRun {
+		g := s.group[d]
+		p.queues[g] = append(p.queues[g], d)
 	}
-	p.pending.Store(int32(nw))
-	for w := 0; w < nw; w++ {
-		p.ready[w] <- struct{}{}
+	busy := 0
+	last := -1
+	for w := 0; w < p.width; w++ {
+		if len(p.queues[w]) > 0 {
+			busy++
+			last = w
+		}
+	}
+	if busy == 1 {
+		for _, d := range p.queues[last] {
+			s.runDomain(d)
+		}
+		return
+	}
+	p.pending.Store(int32(busy))
+	for w := 0; w < p.width; w++ {
+		if len(p.queues[w]) > 0 {
+			p.ready[w] <- struct{}{}
+		}
 	}
 	<-p.done
 }
@@ -508,15 +765,13 @@ func (s *System) Stop() {
 	s.pool.state = poolStopped
 }
 
-// flush drains every non-empty mailbox edge into its destination engine
-// in the canonical total order: ascending delivery cycle, ties broken by
-// source domain, then by send order within the source. Each edge's chunk
-// is sorted by delivery cycle (stably, so send order survives) and the
-// chunks are merged k-way per destination; the destination engine assigns
-// fresh sequence numbers in merge order, so the merged queue behaves as
-// if a single global scheduler had observed the sends in canonical order
-// — independent of how the epoch was executed. Only dirty edges are
-// visited, so a barrier costs O(messages + edges), not O(domains²).
+// flush drains every non-empty mailbox edge straight into its destination
+// engine. No sorting, no merging: messages carry sender-assigned keys, so
+// the destination heap — which orders by (cycle, key) — reproduces the
+// canonical (cycle, source domain, source sequence) total order no matter
+// what order the chunks arrive in. A barrier costs O(messages·log(queue) +
+// dirty edges). Chunks are truncated in place, so their backing arrays are
+// reused across epochs and the steady state allocates nothing.
 func (s *System) flush() {
 	n := len(s.engines)
 	for src := 0; src < n; src++ {
@@ -524,99 +779,81 @@ func (s *System) flush() {
 		if len(dl) == 0 {
 			continue
 		}
-		// src ascends across iterations, so per-dst source lists come out
-		// ascending — the merge's tie order.
 		for _, dst := range dl {
-			if len(s.flushSrcs[dst]) == 0 {
-				s.flushDsts = append(s.flushDsts, dst)
+			bi := src*n + int(dst)
+			box := s.boxes[bi]
+			e := s.engines[dst]
+			for i := range box {
+				m := &box[i]
+				e.scheduleKeyed(m.when, m.key, m.fn, m.argFn, m.arg)
+				*m = msg{}
 			}
-			s.flushSrcs[dst] = append(s.flushSrcs[dst], int32(src))
+			s.boxes[bi] = box[:0]
+			s.activate(dst)
 		}
 		s.outDirty[src] = dl[:0]
 	}
-	if len(s.flushDsts) == 0 {
+}
+
+// validateSpec is the speculation commit barrier: before mail is
+// delivered, every buffered message is checked against its destination's
+// dispatch cursor (now, lastKey). A message that would have dispatched
+// inside an already-executed window is a violation — the destination ran
+// ahead on the promise that no such message existed. The violated domain
+// is rolled back to its pre-epoch snapshot (engine state and model state
+// via the Checkpointer) and its own un-flushed sends are retracted, since
+// re-execution will regenerate them with identical keys. Retraction can
+// only remove messages, so re-scanning to a fixpoint terminates: each
+// iteration restores one domain, and a domain is restored at most once.
+//
+// A violation at a domain that is not speculating this epoch (or with no
+// Checkpointer attached) cannot be rolled back — it means the model broke
+// the declared star topology — so it panics.
+func (s *System) validateSpec() {
+	n := len(s.engines)
+restart:
+	for {
+		for src := 0; src < n; src++ {
+			for _, dst := range s.outDirty[src] {
+				e := s.engines[dst]
+				box := s.boxes[src*n+int(dst)]
+				for i := range box {
+					if e.deliverable(box[i].when, box[i].key) {
+						continue
+					}
+					s.specViolations++
+					if !s.specOn[dst] || s.ckpt == nil {
+						panic(fmt.Sprintf(
+							"sim: speculation violation: message from domain %d delivers at cycle %d inside domain %d's executed window (now %d) and no rollback is possible (speculating=%v, checkpointer=%v); the model sent shard-to-shard traffic despite the declared hub %d — declare the topology honestly, attach a Checkpointer, or disable speculation",
+							src, box[i].when, dst, e.Now(), s.specOn[dst], s.ckpt != nil, s.hub))
+					}
+					s.restoreDomain(dst)
+					continue restart
+				}
+			}
+		}
 		return
 	}
-	for _, dst := range s.flushDsts {
-		srcs := s.flushSrcs[dst]
-		e := s.engines[dst]
-		if len(srcs) == 1 {
-			box := s.boxes[int(srcs[0])*n+int(dst)]
-			sortBox(box)
-			for i := range box {
-				deliver(e, &box[i])
-			}
-			s.boxes[int(srcs[0])*n+int(dst)] = box[:0]
-		} else {
-			s.mergeInto(e, int(dst), srcs)
-		}
-		s.flushSrcs[dst] = s.flushSrcs[dst][:0]
-		s.activate(dst)
-	}
-	s.flushDsts = s.flushDsts[:0]
 }
 
-// mergeInto k-way merges the per-source chunks destined for dst into its
-// engine. Chunks are pre-sorted by delivery cycle; the head scan picks
-// the strictly smallest cycle, first source wins ties, which — with the
-// ascending source list — yields the canonical (cycle, src, seq) order.
-func (s *System) mergeInto(e *Engine, dst int, srcs []int32) {
+// restoreDomain rewinds domain d to the snapshot taken at this epoch's
+// start: engine queue/clock/counters, model state via the Checkpointer,
+// and d's own buffered sends (retracted — deterministic re-execution will
+// regenerate them, with identical keys). d rejoins the active set and
+// re-executes under normal horizons in subsequent epochs.
+func (s *System) restoreDomain(d int32) {
+	s.engines[d].restore(&s.snaps[d])
 	n := len(s.engines)
-	if cap(s.mergePos) < len(srcs) {
-		s.mergePos = make([]int, len(srcs))
-	}
-	pos := s.mergePos[:len(srcs)]
-	for i, src := range srcs {
-		sortBox(s.boxes[int(src)*n+dst])
-		pos[i] = 0
-	}
-	for {
-		best := -1
-		var bw Cycle
-		for i, src := range srcs {
-			box := s.boxes[int(src)*n+dst]
-			if pos[i] >= len(box) {
-				continue
-			}
-			if best == -1 || box[pos[i]].when < bw {
-				best, bw = i, box[pos[i]].when
-			}
+	for _, dst := range s.outDirty[d] {
+		bi := int(d)*n + int(dst)
+		box := s.boxes[bi]
+		for i := range box {
+			box[i] = msg{}
 		}
-		if best == -1 {
-			break
-		}
-		box := s.boxes[int(srcs[best])*n+dst]
-		deliver(e, &box[pos[best]])
-		pos[best]++
+		s.boxes[bi] = box[:0]
 	}
-	for _, src := range srcs {
-		s.boxes[int(src)*n+dst] = s.boxes[int(src)*n+dst][:0]
-	}
-}
-
-// deliver schedules one buffered message on its destination engine and
-// releases the slot's closures.
-func deliver(e *Engine, m *msg) {
-	if m.fn != nil {
-		e.Schedule(m.when, m.fn)
-	} else {
-		e.ScheduleArg(m.when, m.argFn, m.arg)
-	}
-	*m = msg{}
-}
-
-// sortBox stable-insertion-sorts one edge's chunk by delivery cycle.
-// Chunks hold the handful of messages one domain sent one neighbor in one
-// epoch and arrive nearly sorted, so insertion sort beats anything
-// allocation-bearing.
-func sortBox(box []msg) {
-	for i := 1; i < len(box); i++ {
-		m := box[i]
-		j := i - 1
-		for j >= 0 && box[j].when > m.when {
-			box[j+1] = box[j]
-			j--
-		}
-		box[j+1] = m
-	}
+	s.outDirty[d] = s.outDirty[d][:0]
+	s.ckpt.Restore(int(d))
+	s.specOn[d] = false
+	s.activate(d)
 }

@@ -234,11 +234,12 @@ func TestSystemSetWorkersWhileRunningPanics(t *testing.T) {
 // per event), so a per-domain step cap bounds it; the cap reads only the
 // domain's own log length, whose growth follows the canonical dispatch
 // order and is therefore identical at every worker count.
-func synthRun(workers int, adaptive bool) string {
+func synthRun(workers int, adaptive, fused bool) string {
 	const domains, lookahead = 5, 7
 	const maxStepsPerDomain = 1500
 	s := NewSystem(domains, lookahead)
 	s.SetAdaptive(adaptive)
+	s.SetFused(fused)
 	s.SetWorkers(workers)
 	defer s.Stop()
 	logs := make([][]string, domains) // domain-owned: no cross-domain writes
@@ -276,20 +277,23 @@ func synthRun(workers int, adaptive bool) string {
 
 // TestSystemWorkerCountByteIdentity is the determinism contract: the same
 // event cascade produces an identical dispatch trace at any worker count,
-// including inline execution — in both epoch modes. Adaptive and fixed
-// epochs are each internally deterministic but are distinct result
-// universes (same-cycle cross-domain ties can merge in different epochs),
-// so the reference is per-mode.
+// including inline execution, in both epoch modes, and with same-group
+// fusion on or off. Explicit (rank, seq) event keys fix one canonical
+// dispatch order at send time, so adaptive and fixed epochs — formerly
+// distinct result universes — and the fused fast path all replay the
+// single reference trace byte for byte.
 func TestSystemWorkerCountByteIdentity(t *testing.T) {
+	ref := synthRun(1, true, true)
+	if len(ref) < 100 {
+		t.Fatalf("synthetic cascade too small to be meaningful:\n%s", ref)
+	}
 	for _, adaptive := range []bool{true, false} {
-		ref := synthRun(1, adaptive)
-		if len(ref) < 100 {
-			t.Fatalf("adaptive=%v: synthetic cascade too small to be meaningful:\n%s", adaptive, ref)
-		}
-		for _, w := range []int{2, 3, 8} {
-			if got := synthRun(w, adaptive); got != ref {
-				t.Errorf("adaptive=%v workers=%d diverged from inline execution\ninline:\n%.300s\nworkers=%d:\n%.300s",
-					adaptive, w, ref, w, got)
+		for _, fused := range []bool{true, false} {
+			for _, w := range []int{1, 2, 3, 8} {
+				if got := synthRun(w, adaptive, fused); got != ref {
+					t.Errorf("adaptive=%v fused=%v workers=%d diverged from reference\nreference:\n%.300s\ngot:\n%.300s",
+						adaptive, fused, w, ref, got)
+				}
 			}
 		}
 	}
