@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet test-race trace-smoke sweepd-smoke bench bench-hotpath experiments experiments-par examples clean
+.PHONY: build test vet test-race fuzz-artifact trace-smoke sweepd-smoke bench bench-hotpath experiments experiments-par examples clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,14 @@ test:
 # HTTP surface end to end.
 test-race:
 	$(GO) test -race -timeout 20m ./internal/harness ./internal/exp ./internal/sim ./internal/core ./internal/gpu ./internal/server ./cmd/sweepctl
+
+# Coverage-guided fuzz of the UVMCMP1 compiled-trace decoder on top of
+# the committed corpus (internal/trace/testdata/fuzz). The harness
+# re-checksums mutated inputs so mutations reach the structural
+# validators, and replays every successful decode end to end (same leg
+# CI runs; see DESIGN.md §16).
+fuzz-artifact:
+	$(GO) test -run '^$$' -fuzz FuzzReadCompiledArtifact -fuzztime 30s ./internal/trace
 
 # Traced smoke: a short run with -trace must produce structurally valid
 # Chrome trace-event JSON (same check CI runs).

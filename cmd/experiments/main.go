@@ -31,6 +31,7 @@ import (
 
 	"uvmsim/internal/exp"
 	"uvmsim/internal/harness"
+	"uvmsim/internal/trace"
 )
 
 // defaultCacheDir is where -resume keeps results when -cachedir is unset.
@@ -81,6 +82,8 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event JSON execution trace per freshly-run job into this directory (cache hits are not traced)")
 	progressJSON := flag.String("progress-json", "", "stream one JSON line per finished job to this file ('-' for stderr) — the same event format sweepd serves")
 	compiled := flag.Bool("compiled", true, "replay workloads from compiled flat traces shared across jobs (identical results; -compiled=false regenerates streams live, using less memory)")
+	artifactDir := flag.String("artifact-dir", "auto", "on-disk compiled-trace artifact store shared with sweepd and cmd/uvmsim; \"auto\" = <cachedir>/artifacts when a cache is on (else off), \"off\" disables")
+	buildBytes := flag.Int64("build-cache-bytes", 0, "in-memory compiled-workload byte budget (LRU eviction past it); 0 = unbounded")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	flag.Parse()
@@ -176,6 +179,26 @@ func main() {
 	r.Par = pool.Par()
 	r.Ctx = ctx
 	r.Live = !*compiled
+	switch *artifactDir {
+	case "auto":
+		*artifactDir = ""
+		if *cacheDir != "" {
+			*artifactDir = filepath.Join(*cacheDir, "artifacts")
+		}
+	case "off":
+		*artifactDir = ""
+	}
+	if *artifactDir != "" {
+		store, err := trace.OpenArtifactStore(*artifactDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r.Builds.SetDisk(store)
+	}
+	if *buildBytes > 0 {
+		r.Builds.SetLimit(*buildBytes)
+	}
 	if *suite != "" {
 		r.Suite = strings.Split(*suite, ",")
 	}

@@ -42,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -61,6 +62,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-simulation wall-time limit; 0 = none")
 	gridTTL := flag.Duration("grid-ttl", 0, "retire finished grids (and their manifests) after this age; 0 = keep forever")
 	weightSpec := flag.String("client-weights", "", "per-client fair-share weights, e.g. \"ci=4,alice=2\" (unlisted clients get 1)")
+	artifactDir := flag.String("artifact-dir", "auto", "on-disk compiled-trace artifact store shared with cmd/uvmsim and cmd/experiments; \"auto\" = <cachedir>/artifacts, \"off\" disables")
+	buildBytes := flag.Int64("build-cache-bytes", 2<<30, "in-memory compiled-workload byte budget (LRU eviction past it; evicted artifacts reload from -artifact-dir); 0 = unbounded")
 	flag.Parse()
 
 	weights, err := parseWeights(*weightSpec)
@@ -89,9 +92,16 @@ func main() {
 		TraceDir:   *traceDir,
 		TraceKeyed: true, // clients derive trace names from job keys
 	})
+	switch *artifactDir {
+	case "auto":
+		*artifactDir = filepath.Join(*cacheDir, "artifacts")
+	case "off":
+		*artifactDir = ""
+	}
 	srv, err := server.New(server.Options{
 		Pool: pool, QueueCap: *queueCap,
 		GridTTL: *gridTTL, ClientWeights: weights,
+		ArtifactDir: *artifactDir, BuildCacheBytes: *buildBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -250,6 +250,31 @@ func TestSweepdRestartSmoke(t *testing.T) {
 		t.Errorf("resubmission after restart: stored=%d done=%v, want 2/true", st.Stored, st.Done)
 	}
 
+	// Cold-start without the build tax: a third grid point (ratio 0.75 is
+	// not in the result store, so its job really runs) must be served by
+	// loading the compiled artifact d1 persisted under
+	// <cachedir>/artifacts — zero fresh BuildCache builds after restart.
+	o2 := runClient(d2.base, `{"scale":"small","vertices":65536,"avg_degree":6,"runs":[
+		{"workload":"BFS-TTC","ratio":0.75}]}`)
+	if o2.err != nil {
+		t.Fatalf("post-restart fresh grid: %v\nstderr:\n%s", o2.err, d2.stderr.String())
+	}
+	var builds struct {
+		BuildCache struct {
+			Builds    int `json:"builds"`
+			DiskLoads int `json:"disk_loads"`
+		} `json:"builds"`
+	}
+	if err := getJSON(d2.base+"/api/v1/stores", &builds); err != nil {
+		t.Fatal(err)
+	}
+	if builds.BuildCache.Builds != 0 {
+		t.Errorf("restarted daemon rebuilt %d workloads, want 0 (artifact store cold start)", builds.BuildCache.Builds)
+	}
+	if builds.BuildCache.DiskLoads == 0 {
+		t.Error("restarted daemon never loaded from the artifact store")
+	}
+
 	resp, err = http.Post(d2.base+"/api/v1/shutdown", "", nil)
 	if err != nil {
 		t.Fatal(err)

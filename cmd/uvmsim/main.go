@@ -16,6 +16,7 @@ import (
 
 	"uvmsim/internal/config"
 	"uvmsim/internal/core"
+	"uvmsim/internal/harness"
 	"uvmsim/internal/metrics"
 	"uvmsim/internal/telemetry"
 	"uvmsim/internal/trace"
@@ -47,6 +48,7 @@ func main() {
 	traceIn := flag.String("tracein", "", "simulate a trace file (written by -traceout) instead of building -workload")
 	execTrace := flag.String("trace", "", "write a Chrome trace-event JSON execution trace (Perfetto-loadable) to this file")
 	compiled := flag.Bool("compiled", false, "compile the workload to the flat in-process trace form before simulating (identical results, faster replay)")
+	artifacts := flag.String("artifacts", "", "on-disk compiled-trace artifact store (implies -compiled): load the workload's UVMCMP1 artifact when present, else build and persist it; share the directory with sweepd/experiments to skip their builds too")
 	flag.Parse()
 
 	if *list {
@@ -88,7 +90,15 @@ func main() {
 		p.Seed = *seed
 		p.ThreadsPerBlock = *tpb
 		p.ComputeCycles = *compute
-		w, err = workload.Build(*name, p)
+		if *artifacts != "" && *traceOut == "" {
+			// Artifact path: skip the whole generate+compile step when the
+			// store already holds this (workload, params, seed, warp) point —
+			// e.g. one left behind by experiments or sweepd.
+			w, err = loadOrBuildCompiled(*artifacts, *name, p, cfg.GPU.WarpSize)
+			*compiled = false // w is already the compiled view
+		} else {
+			w, err = workload.Build(*name, p)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -212,4 +222,37 @@ func main() {
 	fmt.Printf("L2 TLB              %d hits / %d misses\n", stats.TLBL2Hits, stats.TLBL2Miss)
 	fmt.Printf("L1 cache            %d hits / %d misses\n", stats.CacheL1Hit, stats.CacheL1Mis)
 	fmt.Printf("L2 cache            %d hits / %d misses\n", stats.CacheL2Hit, stats.CacheL2Mis)
+}
+
+// loadOrBuildCompiled serves the workload from an on-disk UVMCMP1
+// artifact store: a hit replays the flat arrays straight off disk with no
+// generation or compile work; a miss builds, compiles, and persists so
+// the next process (this one, experiments, or sweepd) hits. Results are
+// byte-identical either way — the fidelity suite guards it.
+func loadOrBuildCompiled(dir, name string, p workload.Params, warpSize int) (*trace.Workload, error) {
+	store, err := trace.OpenArtifactStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := harness.HashParts(p)
+	if err != nil {
+		return nil, err
+	}
+	key := trace.ArtifactKey(name, hash, p.Seed, warpSize)
+	if c, err := store.LoadCompiled(key); err == nil {
+		return c.Workload(), nil
+	}
+	w, err := workload.Build(name, p)
+	if err != nil {
+		return nil, err
+	}
+	c, err := trace.Compile(w, warpSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.SaveCompiled(key, c); err != nil {
+		// Persisting is an optimization; a full disk should not fail the run.
+		fmt.Fprintln(os.Stderr, "uvmsim: artifact save:", err)
+	}
+	return c.Workload(), nil
 }

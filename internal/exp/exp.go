@@ -153,6 +153,12 @@ type Runner struct {
 	mu      sync.Mutex
 	results map[string]*runOutcome
 
+	// views memoizes one replayable view per compiled-workload key, so
+	// every caller shares a single *trace.Workload even though the build
+	// cache holds the *trace.Compiled underneath.
+	viewMu sync.Mutex
+	views  map[string]*trace.Workload
+
 	hashOnce   sync.Once
 	paramsHash string
 	hashErr    error
@@ -195,9 +201,12 @@ func (r *Runner) suite() []string {
 	return irregularSet
 }
 
-// workloadKey is the build-cache identity of a workload: name, the full
-// generation-parameter hash (which covers the seed), the warp size the
-// streams are enumerated at, and whether the build is compiled or live.
+// workloadKey is the build-cache identity of a workload. Compiled builds
+// use trace.ArtifactKey verbatim — codec version, name, the full
+// generation-parameter hash, seed, warp size — so the same key addresses
+// the in-memory entry and its on-disk artifact, and a codec bump or warp
+// change is a structural miss rather than a convention. Live builds
+// (closures, never persisted) get a distinct "live|" namespace.
 func (r *Runner) workloadKey(name string) (string, error) {
 	r.hashOnce.Do(func() {
 		r.paramsHash, r.hashErr = harness.HashParts(r.Params)
@@ -205,12 +214,11 @@ func (r *Runner) workloadKey(name string) (string, error) {
 	if r.hashErr != nil {
 		return "", r.hashErr
 	}
-	form := "compiled"
+	key := trace.ArtifactKey(name, r.paramsHash, r.Params.Seed, r.Base.GPU.WarpSize)
 	if r.Live {
-		form = "live"
+		key = "live|" + key
 	}
-	return fmt.Sprintf("%s|%s|%d|w%d|%s",
-		name, r.paramsHash, r.Params.Seed, r.Base.GPU.WarpSize, form), nil
+	return key, nil
 }
 
 // Workload returns (building and caching) the named workload. Concurrent
@@ -227,19 +235,37 @@ func (r *Runner) Workload(name string) (*trace.Workload, error) {
 		if err != nil || r.Live {
 			return w, err
 		}
-		c, err := trace.Compile(w, r.Base.GPU.WarpSize)
-		if err != nil {
-			return nil, err
-		}
-		// The compiled view references only the flattened arrays and the
-		// Space; the live closures (and the graph behind them) become
-		// garbage once this returns.
-		return c.Workload(), nil
+		// Cache the *Compiled itself, not a view: that is what the build
+		// cache's disk tier can persist (and size for eviction). The live
+		// closures (and the graph behind them) become garbage once this
+		// returns.
+		return trace.Compile(w, r.Base.GPU.WarpSize)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*trace.Workload), nil
+	switch w := v.(type) {
+	case *trace.Compiled:
+		// Memoize the replayable view per runner so concurrent callers
+		// share one *Workload (the long-standing contract); the BuildCache
+		// holds only the *Compiled, which is what the disk tier persists
+		// and the byte budget evicts.
+		r.viewMu.Lock()
+		defer r.viewMu.Unlock()
+		if r.views == nil {
+			r.views = make(map[string]*trace.Workload)
+		}
+		view, ok := r.views[key]
+		if !ok {
+			view = w.Workload()
+			r.views[key] = view
+		}
+		return view, nil
+	case *trace.Workload:
+		return w, nil
+	default:
+		return nil, fmt.Errorf("exp: build cache holds %T for %q", v, key)
+	}
 }
 
 // jobIdentity computes a run's cache identity: a hash over the workload

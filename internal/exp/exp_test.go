@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"uvmsim/internal/config"
+	"uvmsim/internal/harness"
+	"uvmsim/internal/trace"
 	"uvmsim/internal/workload"
 )
 
@@ -346,5 +348,90 @@ func TestFig18Driver(t *testing.T) {
 		if v := cellFloat(t, row[1]); v <= 0 {
 			t.Fatalf("non-positive speedup %q at %sus", row[1], row[0])
 		}
+	}
+}
+
+// TestWorkloadKeyStructural is the build-cache analogue of the UVMTRC2
+// warp-size lesson: two runners at different warp sizes (or forms)
+// sharing one BuildCache must occupy distinct entries, because the key —
+// trace.ArtifactKey — carries the codec version and warp size
+// structurally. Before this, nothing but convention kept a warp-16
+// compile from serving a warp-32 simulation.
+func TestWorkloadKeyStructural(t *testing.T) {
+	p := workload.Default()
+	p.Vertices = 1 << 10
+	p.AvgDegree = 4
+	shared := harness.NewBuildCache()
+
+	r32 := NewRunner(p, config.Default())
+	r32.Builds = shared
+	base16 := config.Default()
+	base16.GPU.WarpSize = 16
+	r16 := NewRunner(p, base16)
+	r16.Builds = shared
+	live := NewRunner(p, config.Default())
+	live.Builds = shared
+	live.Live = true
+
+	for _, r := range []*Runner{r32, r16, live} {
+		if _, err := r.Workload("BFS-TTC"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := shared.Len(); n != 3 {
+		t.Fatalf("shared build cache holds %d entries for (w32, w16, live), want 3 — key collision", n)
+	}
+
+	k32, err := r32.workloadKey("BFS-TTC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k16, _ := r16.workloadKey("BFS-TTC")
+	kLive, _ := live.workloadKey("BFS-TTC")
+	if !strings.HasPrefix(k32, "uvmcmp1|") || !strings.HasSuffix(k32, "|w32") {
+		t.Fatalf("compiled key %q lacks structural codec/warp components", k32)
+	}
+	if !strings.HasSuffix(k16, "|w16") {
+		t.Fatalf("warp-16 key %q", k16)
+	}
+	if !strings.HasPrefix(kLive, "live|") {
+		t.Fatalf("live key %q not namespaced", kLive)
+	}
+}
+
+// TestRunnerWorkloadDiskTier pins the exp wiring end to end: a runner
+// whose BuildCache has an artifact store persists its compile, and a
+// fresh runner (fresh process, same params) over the same store loads it
+// with zero builds and replays identically.
+func TestRunnerWorkloadDiskTier(t *testing.T) {
+	store, err := trace.OpenArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.Default()
+	p.Vertices = 1 << 10
+	p.AvgDegree = 4
+
+	r1 := NewRunner(p, config.Default())
+	r1.Builds.SetDisk(store)
+	if _, err := r1.Workload("BFS-TTC"); err != nil {
+		t.Fatal(err)
+	}
+	if st := r1.Builds.Stats(); st.Builds != 1 || st.DiskSaves != 1 {
+		t.Fatalf("first runner stats: %+v", st)
+	}
+
+	r2 := NewRunner(p, config.Default())
+	r2.Builds.SetDisk(store)
+	w2, err := r2.Workload("BFS-TTC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r2.Builds.Stats(); st.Builds != 0 || st.DiskLoads != 1 {
+		t.Fatalf("second runner rebuilt instead of loading: %+v", st)
+	}
+	w1, _ := r1.Workload("BFS-TTC")
+	if w1.FootprintBytes() != w2.FootprintBytes() || len(w1.Kernels) != len(w2.Kernels) {
+		t.Fatal("disk-loaded workload differs from the built one")
 	}
 }

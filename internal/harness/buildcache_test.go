@@ -173,3 +173,143 @@ func TestBuildCacheDropErrorsSkipsInFlight(t *testing.T) {
 		t.Fatalf("completed failure not dropped (n = %d)", n)
 	}
 }
+
+// sizedArtifact implements the ArtifactBytes accounting hook.
+type sizedArtifact struct{ bytes int64 }
+
+func (s *sizedArtifact) ArtifactBytes() int64 { return s.bytes }
+
+// fakeDisk is an in-memory DiskTier.
+type fakeDisk struct {
+	mu    sync.Mutex
+	m     map[string]any
+	loads int
+	saves int
+}
+
+func newFakeDisk() *fakeDisk { return &fakeDisk{m: make(map[string]any)} }
+
+func (d *fakeDisk) Load(key string) (any, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v, ok := d.m[key]
+	if ok {
+		d.loads++
+	}
+	return v, ok
+}
+
+func (d *fakeDisk) Save(key string, v any) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m[key] = v
+	d.saves++
+	return true, nil
+}
+
+// TestBuildCacheDiskTier pins the memory-miss → disk-load → build+persist
+// protocol: a second cache over the same tier — the restarted-daemon
+// scenario — serves every key with zero fresh builds.
+func TestBuildCacheDiskTier(t *testing.T) {
+	disk := newFakeDisk()
+	c := NewBuildCache()
+	c.SetDisk(disk)
+	builds := 0
+	build := func() (any, error) { builds++; return &sizedArtifact{10}, nil }
+
+	if _, err := c.Get("k", build); err != nil || builds != 1 {
+		t.Fatalf("cold get: builds=%d err=%v", builds, err)
+	}
+	if disk.saves != 1 {
+		t.Fatalf("fresh build not persisted (saves=%d)", disk.saves)
+	}
+	if _, err := c.Get("k", build); err != nil || builds != 1 {
+		t.Fatalf("warm get rebuilt (builds=%d)", builds)
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.MemHits != 1 || st.DiskLoads != 0 || st.DiskSaves != 1 {
+		t.Fatalf("stats after warm run: %+v", st)
+	}
+
+	// "Restart": a fresh cache over the same tier.
+	c2 := NewBuildCache()
+	c2.SetDisk(disk)
+	if _, err := c2.Get("k", func() (any, error) {
+		t.Fatal("restarted cache rebuilt a persisted artifact")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st2 := c2.Stats()
+	if st2.Builds != 0 || st2.DiskLoads != 1 {
+		t.Fatalf("restarted cache stats: %+v", st2)
+	}
+}
+
+// TestBuildCacheEviction pins LRU byte-budget eviction: inserting past
+// the limit evicts the least-recently-used entry, recency is refreshed by
+// Get, and the resident bytes never exceed the budget (single-entry
+// overshoot aside).
+func TestBuildCacheEviction(t *testing.T) {
+	c := NewBuildCache()
+	c.SetLimit(250)
+	mk := func(key string) {
+		if _, err := c.Get(key, func() (any, error) { return &sizedArtifact{100}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a")
+	mk("b")
+	// Touch a so b becomes the LRU victim.
+	c.Get("a", func() (any, error) { t.Fatal("a evicted early"); return nil, nil })
+	mk("c") // 300 bytes > 250: evict b
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 200 || st.Entries != 2 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	rebuilt := false
+	c.Get("b", func() (any, error) { rebuilt = true; return &sizedArtifact{100}, nil })
+	if !rebuilt {
+		t.Fatal("victim was still resident")
+	}
+	// Readmitting b (300 bytes again) evicts the next LRU victim — a —
+	// keeping the newer b and c resident under the budget.
+	c.Get("c", func() (any, error) { t.Fatal("fresh entry evicted"); return nil, nil })
+	if st := c.Stats(); st.Evictions != 2 || st.Bytes > 250 {
+		t.Fatalf("after readmission: %+v", st)
+	}
+}
+
+// TestBuildCacheOversizedEntry keeps the newest entry even when it alone
+// exceeds the budget: one huge workload must still serve, not thrash.
+func TestBuildCacheOversizedEntry(t *testing.T) {
+	c := NewBuildCache()
+	c.SetLimit(10)
+	v, err := c.Get("huge", func() (any, error) { return &sizedArtifact{1000}, nil })
+	if err != nil || v.(*sizedArtifact).bytes != 1000 {
+		t.Fatalf("oversized build: %v, %v", v, err)
+	}
+	c.Get("huge", func() (any, error) { t.Fatal("oversized sole entry evicted"); return nil, nil })
+	if st := c.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("oversized stats: %+v", st)
+	}
+}
+
+// TestBuildCacheForgetAccounting keeps the byte ledger consistent across
+// Forget and DropErrors.
+func TestBuildCacheForgetAccounting(t *testing.T) {
+	c := NewBuildCache()
+	c.Get("a", func() (any, error) { return &sizedArtifact{70}, nil })
+	c.Get("bad", func() (any, error) { return nil, errors.New("boom") })
+	if got := c.Bytes(); got != 70 {
+		t.Fatalf("bytes with one artifact and one error: %d", got)
+	}
+	c.DropErrors()
+	c.Forget("a")
+	if got := c.Bytes(); got != 0 {
+		t.Fatalf("bytes after Forget: %d", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("entries after Forget: %d", c.Len())
+	}
+}

@@ -54,6 +54,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("sweepd_grids_restored_total", "Grids reloaded from on-disk manifests at startup.", restored)
 	counter("sweepd_grids_evicted_total", "Finished grids retired by the TTL janitor.", evicted)
 	gauge("sweepd_flights_inflight", "Distinct cache keys currently being simulated.", flights)
+	bs := s.build.Stats()
+	counter("sweepd_builds_total", "Fresh workload builds (cold compiles) since start.", bs.Builds)
+	counter("sweepd_build_mem_hits_total", "Build-cache requests served from memory.", bs.MemHits)
+	counter("sweepd_build_disk_loads_total", "Build-cache misses served by the artifact store.", bs.DiskLoads)
+	counter("sweepd_build_evictions_total", "Compiled artifacts evicted by the byte budget.", bs.Evictions)
+	gauge("sweepd_build_cache_bytes", "Resident compiled-artifact bytes.", bs.Bytes)
+	gauge("sweepd_build_cache_limit_bytes", "Configured build-cache byte budget (0 = unbounded).", bs.LimitBytes)
+	gauge("sweepd_build_cache_entries", "Resident build-cache entries.", bs.Entries)
 	counter("sweepd_jobs_submitted_total", "Jobs handed to the pool.", tot.Submitted)
 	counter("sweepd_jobs_done_total", "Jobs finished successfully (fresh runs).", tot.Done)
 	counter("sweepd_jobs_failed_total", "Jobs that ended in an error.", tot.Failed)

@@ -28,6 +28,7 @@ import (
 
 	"uvmsim/internal/harness"
 	"uvmsim/internal/telemetry"
+	"uvmsim/internal/trace"
 )
 
 // Options configures a Server.
@@ -51,6 +52,15 @@ type Options struct {
 	// (unlisted clients get weight 1). Server-side policy, not taken from
 	// submissions.
 	ClientWeights map[string]int
+	// ArtifactDir, when non-empty, attaches an on-disk compiled-trace
+	// artifact store (trace.ArtifactStore) under the shared build cache,
+	// so a restarted daemon serves a repeated grid with zero rebuilds and
+	// separate processes pointed at the same directory share compiles.
+	ArtifactDir string
+	// BuildCacheBytes bounds the in-memory compiled-workload footprint;
+	// least-recently-used artifacts are evicted past the budget (and stay
+	// one disk load away when ArtifactDir is set). <= 0 means unbounded.
+	BuildCacheBytes int64
 }
 
 // Server is the sweepd daemon state: an http.Handler plus the Run loop
@@ -61,6 +71,7 @@ type Server struct {
 	cache       *harness.Cache
 	wrap        func(harness.Executor) harness.Executor
 	build       *harness.BuildCache
+	artifacts   *trace.ArtifactStore // nil when no artifact dir configured
 	mux         *http.ServeMux
 	manifestDir string        // "" when no cache: grids stay memory-only
 	gridTTL     time.Duration // 0 = finished grids never expire
@@ -102,6 +113,17 @@ func New(opts Options) (*Server, error) {
 		flights: make(map[string]*flight),
 	}
 	s.queue.SetWeights(opts.ClientWeights)
+	if opts.ArtifactDir != "" {
+		store, err := trace.OpenArtifactStore(opts.ArtifactDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.artifacts = store
+		s.build.SetDisk(store)
+	}
+	if opts.BuildCacheBytes > 0 {
+		s.build.SetLimit(opts.BuildCacheBytes)
+	}
 	if s.cache != nil {
 		// Manifests live beside the result store. A subdirectory is safe:
 		// the cache's own scan globs *.json non-recursively.
@@ -262,11 +284,22 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 type storeStats struct {
 	Results *harness.CacheStats `json:"results,omitempty"`
 	Traces  *traceStoreStats    `json:"traces,omitempty"`
-	Builds  int                 `json:"workload_builds"`
-	Flights int                 `json:"in_flight"`
-	Grids   gridStoreStats      `json:"grids"`
-	Queue   queueStats          `json:"queue"`
-	Totals  harness.Totals      `json:"totals"`
+	// Builds keeps its original meaning — resident build-cache entries —
+	// while BuildCache carries the lifetime counters (fresh builds, disk
+	// loads, evictions, bytes) the cold-start story is judged by.
+	Builds     int                 `json:"workload_builds"`
+	BuildCache harness.BuildStats  `json:"builds"`
+	Artifacts  *artifactStoreStats `json:"artifacts,omitempty"`
+	Flights    int                 `json:"in_flight"`
+	Grids      gridStoreStats      `json:"grids"`
+	Queue      queueStats          `json:"queue"`
+	Totals     harness.Totals      `json:"totals"`
+}
+
+type artifactStoreStats struct {
+	Dir        string `json:"dir"`
+	Files      int    `json:"files"`
+	TotalBytes int64  `json:"total_bytes"`
 }
 
 type traceStoreStats struct {
@@ -311,6 +344,13 @@ func (s *Server) handleStores(w http.ResponseWriter, r *http.Request) {
 		st.Traces = ts
 	}
 	st.Builds = s.build.Len()
+	st.BuildCache = s.build.Stats()
+	if s.artifacts != nil {
+		files, bytes, err := s.artifacts.Stats()
+		if err == nil {
+			st.Artifacts = &artifactStoreStats{Dir: s.artifacts.Dir(), Files: files, TotalBytes: bytes}
+		}
+	}
 	s.mu.Lock()
 	st.Flights = len(s.flights)
 	st.Grids = gridStoreStats{
